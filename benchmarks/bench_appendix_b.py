@@ -1,0 +1,45 @@
+"""E8 — Appendix B: factored sum-of-products vs dense evaluation.
+
+Benchmarks partition sums through variable elimination against the dense
+tensor, on the discovered paper model and on a wide 16-attribute chain
+where the dense path must enumerate 65536 cells.  Shape criteria: exact
+agreement on the paper model; elimination handles the wide chain.
+"""
+
+import pytest
+
+from repro.data.schema import Attribute, Schema
+from repro.discovery.engine import discover
+from repro.eval.harness import reproduce_appendix_b
+from repro.maxent import elimination
+from repro.maxent.model import MaxEntModel
+
+
+def test_bench_appendix_b_paper_model(benchmark, table, write_report):
+    model = discover(table).model
+    factored = benchmark(elimination.partition_sum, model)
+    dense = float(model.unnormalized().sum())
+    assert factored == pytest.approx(dense, rel=1e-10)
+    _rows, text = reproduce_appendix_b()
+    write_report("appendix_b.txt", text)
+
+
+@pytest.fixture
+def chain_model():
+    attributes = [Attribute(f"X{i}", ("a", "b")) for i in range(16)]
+    schema = Schema(attributes)
+    model = MaxEntModel(schema)
+    for i in range(15):
+        model.cell_factors[((f"X{i}", f"X{i+1}"), (0, 0))] = 2.0
+    return model
+
+
+def test_bench_appendix_b_wide_chain_factored(benchmark, chain_model):
+    factored = benchmark(elimination.partition_sum, chain_model)
+    dense = float(chain_model.unnormalized().sum())
+    assert factored == pytest.approx(dense, rel=1e-9)
+
+
+def test_bench_appendix_b_wide_chain_dense(benchmark, chain_model):
+    dense = benchmark(lambda: float(chain_model.unnormalized().sum()))
+    assert dense > 0

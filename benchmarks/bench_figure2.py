@@ -1,0 +1,22 @@
+"""E2 — Figure 2: marginal sums (Eqs 1-6).
+
+Benchmarks computing every first- and second-order marginal of the paper
+table.  Shape criterion: all Figure-2 marginals match exactly.
+"""
+
+from repro.eval.harness import reproduce_figure2
+from repro.eval.paper import FIGURE2_MARGINALS
+
+
+def test_bench_figure2_marginals(benchmark, table, write_report):
+    def all_marginals():
+        return {
+            subset: table.marginal(list(subset))
+            for subset in list(FIGURE2_MARGINALS)
+        }
+
+    marginals = benchmark(all_marginals)
+
+    for subset, expected in FIGURE2_MARGINALS.items():
+        assert marginals[subset].tolist() == expected
+    write_report("figure2.txt", reproduce_figure2())

@@ -1,0 +1,61 @@
+"""E6 — Figure 4 ablation: the a-value fitting loop, IPF vs Gevarter.
+
+Benchmarks both solvers on the same constraint system (margins + the
+Table-2 cell).  Shape criteria: both converge to the same joint (max
+absolute difference < 1e-8); the vectorized IPF sweep is not slower than
+the scalar Gauss–Seidel re-evaluation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import reproduce_solver_comparison
+from repro.maxent.constraints import ConstraintSet
+from repro.maxent.gevarter import fit_gevarter
+from repro.maxent.ipf import fit_ipf
+
+
+@pytest.fixture
+def constraints(table):
+    constraints = ConstraintSet.first_order(table)
+    for subset, values in [
+        (("SMOKING", "CANCER"), (0, 0)),
+        (("SMOKING", "FAMILY_HISTORY"), (0, 1)),
+    ]:
+        constraints.add_cell(
+            constraints.cell_from_table(table, list(subset), list(values))
+        )
+    return constraints
+
+
+def test_bench_figure4_ipf(benchmark, constraints, write_report):
+    fit = benchmark(fit_ipf, constraints)
+    assert fit.converged
+    _fits, text = reproduce_solver_comparison()
+    write_report("figure4_solvers.txt", text)
+
+
+def test_bench_figure4_gevarter(benchmark, constraints):
+    fit = benchmark(fit_gevarter, constraints, record_trace=False)
+    assert fit.converged
+
+
+def test_bench_figure4_dual(benchmark, constraints):
+    from repro.maxent.dual import fit_dual
+
+    fit = benchmark(fit_dual, constraints, tol=1e-8)
+    assert fit.converged
+    reference = fit_ipf(constraints)
+    difference = np.abs(fit.model.joint() - reference.model.joint()).max()
+    assert difference < 1e-6
+
+
+def test_bench_figure4_agreement(benchmark, constraints):
+    def both():
+        ipf = fit_ipf(constraints)
+        gevarter = fit_gevarter(constraints, record_trace=False)
+        return ipf, gevarter
+
+    ipf, gevarter = benchmark(both)
+    difference = np.abs(ipf.model.joint() - gevarter.model.joint()).max()
+    assert difference < 1e-8

@@ -1,0 +1,56 @@
+"""A3 — ablation: query-engine throughput, dense vs elimination.
+
+Benchmarks conditional queries on the discovered paper model through both
+evaluation paths.  Shape criteria: the two paths agree to 1e-9; dense wins
+on the 12-cell paper schema (as expected — elimination pays overhead that
+only amortizes on wide schemas, cf. E8's 16-attribute chain).
+"""
+
+import pytest
+
+from repro.core.query import QueryEngine
+from repro.discovery.engine import discover
+
+QUERIES = [
+    ({"CANCER": "yes"}, {"SMOKING": "smoker"}),
+    ({"CANCER": "yes"}, {"SMOKING": "smoker", "FAMILY_HISTORY": "yes"}),
+    ({"SMOKING": "smoker"}, {"CANCER": "yes"}),
+    ({"FAMILY_HISTORY": "yes"}, {}),
+]
+
+
+@pytest.fixture(scope="module")
+def model(request):
+    from repro.eval.paper import paper_table
+
+    return discover(paper_table()).model
+
+
+def test_bench_query_dense(benchmark, model):
+    engine = QueryEngine(model, method="dense")
+
+    def run_all():
+        return [engine.probability(t, g or None) for t, g in QUERIES]
+
+    results = benchmark(run_all)
+    assert all(0.0 <= p <= 1.0 for p in results)
+
+
+def test_bench_query_elimination(benchmark, model):
+    dense = QueryEngine(model, method="dense")
+    engine = QueryEngine(model, method="elimination")
+
+    def run_all():
+        return [engine.probability(t, g or None) for t, g in QUERIES]
+
+    results = benchmark(run_all)
+    expected = [dense.probability(t, g or None) for t, g in QUERIES]
+    assert results == pytest.approx(expected, rel=1e-9)
+
+
+def test_bench_rule_generation(benchmark, model):
+    from repro.core.rules import RuleGenerator
+
+    generator = RuleGenerator(model)
+    rules = benchmark(generator.exhaustive, 2)
+    assert len(rules) > 50

@@ -1,0 +1,39 @@
+"""A2 — ablation: pipeline cost vs sample size and attribute count.
+
+Benchmarks discovery across N (the scan cost is N-independent; only the
+counts change) and across schema width (the candidate-cell count grows
+combinatorially).  Shape criterion: runtime grows with attribute count
+but the pipeline stays laptop-scale through 6 attributes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import discover
+from repro.synth.generators import random_planted_population
+
+
+@pytest.mark.parametrize("n", [1000, 10000, 100000])
+def test_bench_scaling_sample_size(benchmark, n):
+    rng = np.random.default_rng(1)
+    population = random_planted_population(
+        rng, num_attributes=3, num_planted=1, strength=3.0
+    )
+    table = population.sample_table(n, rng)
+    result = benchmark(discover, table, DiscoveryConfig(max_order=2))
+    assert result.table.total == n
+
+
+@pytest.mark.parametrize("num_attributes", [3, 4, 5, 6])
+def test_bench_scaling_attributes(benchmark, num_attributes):
+    rng = np.random.default_rng(2)
+    population = random_planted_population(
+        rng,
+        num_attributes=num_attributes,
+        num_planted=2,
+        strength=3.0,
+    )
+    table = population.sample_table(20000, rng)
+    result = benchmark(discover, table, DiscoveryConfig(max_order=2))
+    assert result.num_scans() >= 1

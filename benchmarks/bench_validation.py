@@ -1,0 +1,81 @@
+"""A7 — validation: calibration and k-fold stability of discovery.
+
+Benchmarks the diagnostics a user runs before trusting an acquired
+knowledge base.  Shape criteria: a model fitted on half the paper's
+population is calibrated on the other half (every reliability bin within
+6 points), and k-fold discovery finds a stable constraint set
+(Jaccard > 0.5 across folds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.validation import (
+    calibration_table,
+    cross_validate,
+    holdout_log_loss,
+)
+from repro.data.dataset import Dataset
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import discover
+from repro.eval.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def population():
+    from repro.eval.paper import paper_table
+
+    return paper_table()
+
+
+def test_bench_calibration(benchmark, population, rng, write_report):
+    schema = population.schema
+    train = Dataset.from_joint(
+        schema, population.probabilities(), 10000, rng
+    ).to_contingency()
+    holdout = Dataset.from_joint(
+        schema, population.probabilities(), 10000, rng
+    ).to_contingency()
+    model = discover(train).model
+
+    bins = benchmark(
+        calibration_table, model, holdout, "CANCER", "yes", 4
+    )
+
+    assert bins
+    for bin_ in bins:
+        assert abs(bin_.predicted_mean - bin_.observed_rate) < 0.06
+    rows = [
+        [f"[{b.lower:.2f},{b.upper:.2f})", b.predicted_mean, b.observed_rate, b.weight]
+        for b in bins
+    ]
+    text = (
+        "A7: CALIBRATION OF P(CANCER=yes | rest)\n\n"
+        + format_table(["bin", "predicted", "observed", "weight"], rows)
+        + f"\n\nholdout log loss: {holdout_log_loss(model, holdout):.4f}"
+    )
+    write_report("a7_calibration.txt", text)
+
+
+def test_bench_cross_validation(benchmark, population, rng, write_report):
+    schema = population.schema
+    dataset = Dataset.from_joint(
+        schema, population.probabilities(), 12000, rng
+    )
+
+    result = benchmark(
+        cross_validate, dataset, 3, DiscoveryConfig(max_order=2), rng
+    )
+
+    assert len(result.folds) == 3
+    assert result.constraint_stability() > 0.5
+    rows = [
+        ["mean holdout log loss", f"{result.mean_log_loss:.4f}"],
+        ["mean constraints per fold", f"{result.mean_constraints:.1f}"],
+        ["constraint stability (Jaccard)", f"{result.constraint_stability():.2f}"],
+    ]
+    write_report(
+        "a7_cross_validation.txt",
+        "A7: 3-FOLD DISCOVERY STABILITY\n\n"
+        + format_table(["quantity", "value"], rows),
+    )

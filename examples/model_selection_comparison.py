@@ -1,0 +1,56 @@
+"""Model-selection comparison: MML vs chi-square vs BIC.
+
+Reruns the A1 ablation interactively: plants known correlations, samples
+surveys of varying size, and scores each selector's precision/recall at
+recovering the planted cells.  Demonstrates the MML criterion's
+sample-size adaptivity versus a fixed-alpha z test and a BIC search.
+
+Run with::
+
+    python examples/model_selection_comparison.py [trials]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.eval.harness import selector_recovery_experiment
+from repro.eval.tables import format_table
+
+
+def main(trials: int = 4) -> None:
+    print("Planted-correlation recovery across sample sizes\n")
+    for n in (2000, 20000, 100000):
+        rows, _text = selector_recovery_experiment(
+            seed=0, trials=trials, n=n, strength=2.5
+        )
+        summary = []
+        for selector in ("mml", "chi2", "bic"):
+            chosen = [r for r in rows if r.selector == selector]
+            summary.append(
+                [
+                    selector,
+                    float(np.mean([r.precision for r in chosen])),
+                    float(np.mean([r.recall for r in chosen])),
+                    float(np.mean([r.found for r in chosen])),
+                ]
+            )
+        print(f"N = {n} ({trials} trials, strength 2.5):")
+        print(
+            format_table(
+                ["selector", "precision", "recall", "constraints found"],
+                summary,
+            )
+        )
+        print()
+
+    print(
+        "Reading: all selectors gain recall with N; the MML criterion\n"
+        "adapts its threshold to the sample size and the cell's feasible\n"
+        "range, so it needs no alpha knob and stays quiet on null data."
+    )
+
+
+if __name__ == "__main__":
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    main(trials)

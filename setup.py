@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``wheel`` for PEP 660
+editable installs; this shim lets the legacy path
+(``pip install -e . --no-use-pep517 --no-build-isolation``) work offline.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

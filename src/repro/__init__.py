@@ -1,0 +1,77 @@
+"""repro: Automatic Probabilistic Knowledge Acquisition from Data.
+
+A full reproduction of Gevarter (NASA TM-88224, 1986): maximum-entropy
+estimation of joint attribute probabilities from contingency tables, with
+minimum-message-length discovery of the statistically significant
+correlations, probability queries, and IF-THEN rule generation for
+probabilistic expert systems.
+
+Quickstart::
+
+    from repro import ProbabilisticKnowledgeBase, paper_table
+
+    kb = ProbabilisticKnowledgeBase.from_data(paper_table())
+    kb.query("CANCER=yes | SMOKING=smoker")
+    kb.rules(min_probability=0.5).describe()
+"""
+
+from repro.core.inference import RuleEngine
+from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+from repro.core.query import Query, QueryEngine
+from repro.core.rules import Rule, RuleGenerator, RuleSet
+from repro.data.contingency import ContingencyTable
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import DiscoveryEngine, discover
+from repro.eval.paper import paper_schema, paper_table
+from repro.exceptions import (
+    ConstraintError,
+    ConvergenceError,
+    DataError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.maxent.constraints import CellConstraint, ConstraintSet
+from repro.maxent.dual import fit_dual
+from repro.maxent.gevarter import fit_gevarter
+from repro.maxent.ipf import fit_ipf
+from repro.maxent.model import MaxEntModel
+from repro.significance.mml import MMLPriors, evaluate_cell, scan_order
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "CellConstraint",
+    "ConstraintError",
+    "ConstraintSet",
+    "ContingencyTable",
+    "ConvergenceError",
+    "DataError",
+    "Dataset",
+    "DiscoveryConfig",
+    "DiscoveryEngine",
+    "MMLPriors",
+    "MaxEntModel",
+    "ProbabilisticKnowledgeBase",
+    "Query",
+    "QueryEngine",
+    "QueryError",
+    "ReproError",
+    "Rule",
+    "RuleEngine",
+    "RuleGenerator",
+    "RuleSet",
+    "Schema",
+    "SchemaError",
+    "discover",
+    "evaluate_cell",
+    "fit_dual",
+    "fit_gevarter",
+    "fit_ipf",
+    "paper_schema",
+    "paper_table",
+    "scan_order",
+]

@@ -1,0 +1,27 @@
+"""Baselines: independence, saturated, chi-square / BIC selectors, NB."""
+
+from repro.baselines.bic_selector import BICResult, BICSelectorConfig, discover_bic
+from repro.baselines.chi2_selector import Chi2SelectorConfig, discover_chi2
+from repro.baselines.empirical import empirical_joint, empirical_model
+from repro.baselines.independence import independence_model
+from repro.baselines.loglinear import (
+    LogLinearConfig,
+    LogLinearResult,
+    discover_loglinear,
+)
+from repro.baselines.naive_bayes import NaiveBayesClassifier
+
+__all__ = [
+    "BICResult",
+    "BICSelectorConfig",
+    "Chi2SelectorConfig",
+    "LogLinearConfig",
+    "LogLinearResult",
+    "NaiveBayesClassifier",
+    "discover_bic",
+    "discover_chi2",
+    "discover_loglinear",
+    "empirical_joint",
+    "empirical_model",
+    "independence_model",
+]

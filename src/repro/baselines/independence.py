@@ -1,0 +1,21 @@
+"""Independence baseline: the model with no discovered constraints.
+
+This is the paper's starting point (Eq 61: with only first-order
+constraints the maxent joint is the product of the margins).  As a
+baseline it answers every query assuming all attributes are independent —
+the floor any discovery method must beat.
+"""
+
+from __future__ import annotations
+
+from repro.data.contingency import ContingencyTable
+from repro.maxent.model import MaxEntModel
+
+
+def independence_model(table: ContingencyTable) -> MaxEntModel:
+    """The first-order maxent model ``p_ijk = p_i p_j p_k`` for a table."""
+    margins = {
+        attribute.name: table.first_order_probabilities(attribute.name)
+        for attribute in table.schema
+    }
+    return MaxEntModel.independent(table.schema, margins)

@@ -1,0 +1,110 @@
+"""Naive Bayes classifier baseline.
+
+The paper motivates its output as decision aids; the commercial systems it
+cites (Expert-Ease, TIMM) build classifiers from examples.  Naive Bayes is
+the classical probabilistic classifier over the same contingency data:
+``P(class | features) ∝ P(class) · Π P(feature | class)``.
+
+It serves two roles: a prediction-quality comparator for the knowledge
+base's conditional queries, and a demonstration that the substrate
+(schemas, tables, marginals) supports conventional learners too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.data.contingency import ContingencyTable
+from repro.exceptions import DataError, QueryError
+
+
+class NaiveBayesClassifier:
+    """Categorical naive Bayes fitted from a contingency table.
+
+    Parameters
+    ----------
+    table:
+        Observed counts.
+    class_attribute:
+        The attribute to predict.
+    smoothing:
+        Laplace smoothing added to every (feature value, class) count.
+    """
+
+    def __init__(
+        self,
+        table: ContingencyTable,
+        class_attribute: str,
+        smoothing: float = 1.0,
+    ):
+        if smoothing < 0:
+            raise DataError(f"smoothing must be >= 0, got {smoothing}")
+        schema = table.schema
+        self.schema = schema
+        self.class_attribute = class_attribute
+        self.smoothing = smoothing
+        class_attr = schema.attribute(class_attribute)
+
+        class_counts = table.marginal([class_attribute]).astype(float)
+        prior = class_counts + smoothing
+        self.class_prior = prior / prior.sum()
+
+        self.feature_likelihoods: dict[str, np.ndarray] = {}
+        for attribute in schema:
+            if attribute.name == class_attribute:
+                continue
+            pair = table.marginal(
+                schema.canonical_subset([attribute.name, class_attribute])
+            ).astype(float)
+            # Orient as (feature value, class value).
+            if schema.axis(attribute.name) > schema.axis(class_attribute):
+                pair = pair.T
+            pair = pair + smoothing
+            column_totals = pair.sum(axis=0, keepdims=True)
+            if (column_totals == 0).any():
+                raise DataError(
+                    f"class value with zero mass and no smoothing for "
+                    f"attribute {attribute.name!r}"
+                )
+            self.feature_likelihoods[attribute.name] = pair / column_totals
+        self._num_classes = class_attr.cardinality
+
+    def class_distribution(
+        self, features: Mapping[str, str | int]
+    ) -> dict[str, float]:
+        """Posterior ``P(class | features)`` for the given evidence."""
+        if self.class_attribute in features:
+            raise QueryError(
+                f"evidence fixes the class attribute "
+                f"{self.class_attribute!r}"
+            )
+        log_posterior = np.log(self.class_prior)
+        for name, value in features.items():
+            attribute = self.schema.attribute(name)
+            if name == self.class_attribute:
+                continue
+            if name not in self.feature_likelihoods:
+                raise QueryError(f"unknown feature attribute {name!r}")
+            index = attribute.index_of(value)
+            likelihood = self.feature_likelihoods[name][index]
+            if (likelihood == 0).all():
+                raise QueryError(
+                    f"feature {name}={value} has zero likelihood under "
+                    f"every class"
+                )
+            with np.errstate(divide="ignore"):
+                log_posterior = log_posterior + np.log(likelihood)
+        log_posterior -= log_posterior.max()
+        posterior = np.exp(log_posterior)
+        posterior /= posterior.sum()
+        class_attr = self.schema.attribute(self.class_attribute)
+        return {
+            class_attr.value_at(i): float(p) for i, p in enumerate(posterior)
+        }
+
+    def predict(self, features: Mapping[str, str | int]) -> str:
+        """Most probable class value given the evidence."""
+        distribution = self.class_distribution(features)
+        return max(distribution, key=lambda k: distribution[k])

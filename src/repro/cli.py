@@ -1,0 +1,153 @@
+"""Command-line interface: regenerate paper artifacts and run the pipeline.
+
+Usage::
+
+    repro figure1            # Figure 1 contingency tables
+    repro figure2            # Figure 2 marginals
+    repro table1             # Table 1 significance scan
+    repro table2             # Table 2 a-value iteration
+    repro discover           # full Figure-3 run on the paper data
+    repro discover --csv data.csv   # ... on your own data
+    repro rules              # IF-THEN rules from the paper data
+    repro recovery           # A1 selector-recovery ablation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+from repro.data.io import read_dataset_csv
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import discover
+from repro.eval import harness
+from repro.eval.paper import paper_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Gevarter (1986): Automatic Probabilistic "
+            "Knowledge Acquisition from Data"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("figure1", help="Figure 1 contingency tables")
+    subparsers.add_parser("figure2", help="Figure 2 marginal tables")
+    subparsers.add_parser("table1", help="Table 1 significance scan")
+    subparsers.add_parser("table2", help="Table 2 a-value iteration trace")
+    subparsers.add_parser("solvers", help="IPF vs Gevarter comparison")
+    subparsers.add_parser("appendixb", help="factored vs dense evaluation")
+
+    discover_parser = subparsers.add_parser(
+        "discover", help="run the full discovery pipeline"
+    )
+    discover_parser.add_argument(
+        "--csv", help="CSV dataset to analyse (default: the paper's data)"
+    )
+    discover_parser.add_argument(
+        "--max-order", type=int, default=None, help="highest order to scan"
+    )
+
+    rules_parser = subparsers.add_parser(
+        "rules", help="generate IF-THEN rules with probabilities"
+    )
+    rules_parser.add_argument("--csv", help="CSV dataset (default: paper data)")
+    rules_parser.add_argument(
+        "--min-probability", type=float, default=0.5
+    )
+    rules_parser.add_argument("--min-support", type=float, default=0.01)
+
+    recovery_parser = subparsers.add_parser(
+        "recovery", help="A1 selector-recovery ablation"
+    )
+    recovery_parser.add_argument("--trials", type=int, default=3)
+    recovery_parser.add_argument("--seed", type=int, default=0)
+
+    loglinear_parser = subparsers.add_parser(
+        "loglinear", help="classical whole-margin log-linear selection"
+    )
+    loglinear_parser.add_argument("--csv", help="CSV dataset (default: paper data)")
+    loglinear_parser.add_argument("--alpha", type=float, default=0.01)
+
+    report_parser = subparsers.add_parser(
+        "report", help="regenerate every experiment into one markdown report"
+    )
+    report_parser.add_argument(
+        "--output", help="write to a file instead of stdout"
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "figure1":
+        print(harness.reproduce_figure1())
+    elif args.command == "figure2":
+        print(harness.reproduce_figure2())
+    elif args.command == "table1":
+        _comparisons, text = harness.reproduce_table1()
+        print(text)
+    elif args.command == "table2":
+        _fit, text = harness.reproduce_table2()
+        print(text)
+    elif args.command == "solvers":
+        _fits, text = harness.reproduce_solver_comparison()
+        print(text)
+    elif args.command == "appendixb":
+        _rows, text = harness.reproduce_appendix_b()
+        print(text)
+    elif args.command == "discover":
+        table = _load_table(args.csv)
+        config = DiscoveryConfig(max_order=args.max_order)
+        result = discover(table, config)
+        print(result.summary())
+    elif args.command == "rules":
+        table = _load_table(args.csv)
+        kb = ProbabilisticKnowledgeBase.from_data(table)
+        rules = kb.rules(
+            min_probability=args.min_probability,
+            min_support=args.min_support,
+        ).sorted_by_lift()
+        print(rules.describe())
+    elif args.command == "recovery":
+        _rows, text = harness.selector_recovery_experiment(
+            seed=args.seed, trials=args.trials
+        )
+        print(text)
+    elif args.command == "loglinear":
+        from repro.baselines.loglinear import LogLinearConfig, discover_loglinear
+
+        table = _load_table(args.csv)
+        result = discover_loglinear(table, LogLinearConfig(alpha=args.alpha))
+        print(
+            f"log-linear forward selection over N={table.total} samples "
+            f"(alpha={args.alpha})"
+        )
+        for step in result.steps:
+            print(
+                f"  adopted margin over {step.attributes}: "
+                f"G2={step.g2:.1f}, dof={step.dof}, p={step.p_value:.2e}"
+            )
+        print(
+            f"interaction parameters spent: "
+            f"{result.num_interaction_parameters()}"
+        )
+    elif args.command == "report":
+        from repro.eval.report import generate_report, write_report
+
+        if args.output:
+            path = write_report(args.output)
+            print(f"report written to {path}")
+        else:
+            print(generate_report())
+    return 0
+
+
+def _load_table(csv_path: str | None):
+    if csv_path is None:
+        return paper_table()
+    return read_dataset_csv(csv_path).to_contingency()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,226 @@
+"""The public facade: fit once, then query / extract rules / serialize.
+
+:class:`ProbabilisticKnowledgeBase` is what a downstream user touches:
+
+>>> kb = ProbabilisticKnowledgeBase.from_data(table)
+>>> kb.query("CANCER=yes | SMOKING=smoker")
+0.186...
+>>> kb.rules(min_probability=0.6).describe()
+'IF ...'
+
+It bundles the discovery result (model + adopted constraints + audit
+trace), the query engine, and rule generation, and round-trips through
+JSON so an acquired knowledge base can ship without its training data.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.query import QueryEngine
+from repro.core.rules import RuleGenerator, RuleSet
+from repro.data.contingency import ContingencyTable
+from repro.data.dataset import Dataset
+from repro.data.io import schema_from_dict, schema_to_dict
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import discover
+from repro.discovery.trace import DiscoveryResult
+from repro.exceptions import DataError
+from repro.maxent.constraints import CellConstraint
+from repro.maxent.model import MaxEntModel
+
+Assignment = Mapping[str, str | int]
+
+
+class ProbabilisticKnowledgeBase:
+    """A fitted probabilistic knowledge base.
+
+    Build with :meth:`from_data` (runs the full discovery pipeline) or
+    :meth:`from_model` (wrap an existing model).
+    """
+
+    def __init__(
+        self,
+        model: MaxEntModel,
+        sample_size: int,
+        discovery: DiscoveryResult | None = None,
+    ):
+        self.model = model
+        self.sample_size = int(sample_size)
+        self.discovery = discovery
+        self._queries = QueryEngine(model)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def from_data(
+        cls,
+        data: ContingencyTable | Dataset,
+        config: DiscoveryConfig | None = None,
+    ) -> "ProbabilisticKnowledgeBase":
+        """Run the paper's full pipeline on observed data."""
+        if isinstance(data, Dataset):
+            table = data.to_contingency()
+        elif isinstance(data, ContingencyTable):
+            table = data
+        else:
+            raise DataError(
+                f"from_data expects a Dataset or ContingencyTable, got "
+                f"{type(data).__name__}"
+            )
+        result = discover(table, config)
+        return cls(result.model, table.total, discovery=result)
+
+    @classmethod
+    def from_model(
+        cls, model: MaxEntModel, sample_size: int
+    ) -> "ProbabilisticKnowledgeBase":
+        """Wrap an already-fitted model (e.g. loaded from JSON)."""
+        return cls(model, sample_size)
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self.model.schema
+
+    def query(self, text: str) -> float:
+        """Evaluate ``"A=x | B=y"`` style query strings."""
+        return self._queries.ask(text)
+
+    def probability(
+        self, target: Assignment, given: Assignment | None = None
+    ) -> float:
+        """``P(target | given)`` with labelled assignments."""
+        return self._queries.probability(target, given)
+
+    def distribution(
+        self, attribute: str, given: Assignment | None = None
+    ) -> dict[str, float]:
+        """Conditional distribution of one attribute."""
+        return self._queries.distribution(attribute, given)
+
+    # -- knowledge ----------------------------------------------------------------
+
+    @property
+    def constraints(self) -> tuple[CellConstraint, ...]:
+        """The significant joint probabilities the system stores."""
+        if self.discovery is not None:
+            return self.discovery.found
+        return tuple(
+            CellConstraint(names, values, self._cell_probability(names, values))
+            for names, values in self.model.cell_factors
+        )
+
+    def _cell_probability(self, names, values) -> float:
+        marginal = self.model.marginal(names)
+        return float(marginal[values])
+
+    def rules(
+        self,
+        min_probability: float = 0.0,
+        min_support: float = 0.0,
+        max_conditions: int = 2,
+        constrained_only: bool = False,
+    ) -> RuleSet:
+        """Generate IF-THEN rules with probabilities.
+
+        With ``constrained_only`` the rules come solely from discovered
+        constraints (the paper's emphasis); otherwise all rules up to
+        ``max_conditions`` conditions are enumerated and filtered.
+        """
+        generator = RuleGenerator(self.model)
+        if constrained_only:
+            return generator.from_constraints(min_probability, min_support)
+        return generator.exhaustive(
+            max_conditions=max_conditions,
+            min_probability=min_probability,
+            min_support=min_support,
+        )
+
+    def summary(self) -> str:
+        """Readable report: schema, constraints, entropy."""
+        lines = [
+            f"ProbabilisticKnowledgeBase over {self.schema!r}",
+            f"fitted from N={self.sample_size} samples",
+            f"significant joint probabilities: {len(self.model.cell_factors)}",
+        ]
+        for names, values in self.model.cell_factors:
+            probability = self._cell_probability(names, values)
+            labels = ", ".join(
+                f"{n}={self.schema.attribute(n).value_at(v)}"
+                for n, v in zip(names, values)
+            )
+            lines.append(f"  P({labels}) = {probability:.4f}")
+        return "\n".join(lines)
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict: schema, factors, sample size."""
+        return {
+            "schema": schema_to_dict(self.schema),
+            "sample_size": self.sample_size,
+            "a0": self.model.a0,
+            "margin_factors": {
+                name: vector.tolist()
+                for name, vector in self.model.margin_factors.items()
+            },
+            "cell_factors": [
+                {
+                    "attributes": list(names),
+                    "values": list(values),
+                    "a": factor,
+                }
+                for (names, values), factor in self.model.cell_factors.items()
+            ],
+            "table_factors": [
+                {"attributes": list(names), "a": array.tolist()}
+                for names, array in self.model.table_factors.items()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbabilisticKnowledgeBase":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            schema = schema_from_dict(data["schema"])
+            margin_factors = {
+                name: np.asarray(vector, dtype=float)
+                for name, vector in data["margin_factors"].items()
+            }
+            cell_factors = {
+                (
+                    tuple(item["attributes"]),
+                    tuple(int(v) for v in item["values"]),
+                ): float(item["a"])
+                for item in data["cell_factors"]
+            }
+            table_factors = {
+                tuple(item["attributes"]): np.asarray(item["a"], dtype=float)
+                for item in data.get("table_factors", [])
+            }
+            model = MaxEntModel(
+                schema,
+                margin_factors,
+                cell_factors,
+                a0=float(data["a0"]),
+                table_factors=table_factors,
+            )
+            sample_size = int(data["sample_size"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise DataError(f"malformed knowledge base dict: {error}") from None
+        return cls.from_model(model, sample_size)
+
+    def save(self, path: str | Path) -> None:
+        """Write the knowledge base to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProbabilisticKnowledgeBase":
+        """Read a knowledge base from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,307 @@
+"""IF-THEN rules with probabilities (the paper's expert-system output).
+
+    P(A | B, C) = p   ≡   IF B AND C THEN A (with probability p)
+
+"The system ... does not generate rules explicitly.  It generates and
+stores significant joint probabilities instead.  Particular conditional
+probabilities can be calculated from this information as required."
+This module performs that calculation on demand: a :class:`RuleGenerator`
+turns a fitted model into an explicit :class:`RuleSet` for consumption by
+a conventional rule engine (:mod:`repro.core.inference`).
+
+Each rule also carries *support* (probability of the condition — how often
+the rule fires) and *lift* (posterior / prior of the conclusion — how much
+the evidence moves the needle), the standard quality measures for induced
+probabilistic rules.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from itertools import combinations, product
+
+from repro.data.schema import Schema
+from repro.exceptions import QueryError
+from repro.maxent.model import MaxEntModel
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``IF conditions THEN conclusion (with probability p)``.
+
+    Attributes
+    ----------
+    conditions:
+        Labelled condition assignment (the rule's IF part), stored as a
+        sorted tuple of ``(attribute, value)`` pairs for hashability.
+    conclusion:
+        Single ``(attribute, value)`` pair (the THEN part).
+    probability:
+        ``P(conclusion | conditions)``.
+    support:
+        ``P(conditions)`` — fraction of the population the rule applies to.
+    lift:
+        ``P(conclusion | conditions) / P(conclusion)``.
+    """
+
+    conditions: tuple[tuple[str, str], ...]
+    conclusion: tuple[str, str]
+    probability: float
+    support: float
+    lift: float
+
+    def condition_dict(self) -> dict[str, str]:
+        return dict(self.conditions)
+
+    def applies_to(self, facts: Mapping[str, str]) -> bool:
+        """True if every condition is satisfied by the given facts."""
+        return all(facts.get(name) == value for name, value in self.conditions)
+
+    def describe(self) -> str:
+        condition_text = " AND ".join(
+            f"{name}={value}" for name, value in self.conditions
+        )
+        name, value = self.conclusion
+        return (
+            f"IF {condition_text} THEN {name}={value} "
+            f"(p={self.probability:.3f}, support={self.support:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+class RuleSet:
+    """An ordered, filterable collection of rules."""
+
+    def __init__(self, rules: Sequence[Rule] = ()):
+        self._rules = list(rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules)
+
+    def __getitem__(self, index: int) -> Rule:
+        return self._rules[index]
+
+    def add(self, rule: Rule) -> None:
+        self._rules.append(rule)
+
+    def about(self, attribute: str) -> "RuleSet":
+        """Rules concluding about the named attribute."""
+        return RuleSet([r for r in self._rules if r.conclusion[0] == attribute])
+
+    def filter(
+        self,
+        min_probability: float = 0.0,
+        min_support: float = 0.0,
+        min_lift: float = 0.0,
+    ) -> "RuleSet":
+        """Rules meeting all thresholds."""
+        return RuleSet(
+            [
+                r
+                for r in self._rules
+                if r.probability >= min_probability
+                and r.support >= min_support
+                and r.lift >= min_lift
+            ]
+        )
+
+    def sorted_by_lift(self) -> "RuleSet":
+        return RuleSet(sorted(self._rules, key=lambda r: -r.lift))
+
+    def sorted_by_probability(self) -> "RuleSet":
+        return RuleSet(sorted(self._rules, key=lambda r: -r.probability))
+
+    def matching(self, facts: Mapping[str, str]) -> "RuleSet":
+        """Rules whose conditions are all satisfied by the facts."""
+        return RuleSet([r for r in self._rules if r.applies_to(facts)])
+
+    def describe(self) -> str:
+        if not self._rules:
+            return "(empty rule set)"
+        return "\n".join(rule.describe() for rule in self._rules)
+
+
+def rules_to_json(rules: "RuleSet") -> list[dict]:
+    """JSON-ready list of rule dicts (for shipping to an external shell)."""
+    return [
+        {
+            "if": dict(rule.conditions),
+            "then": {rule.conclusion[0]: rule.conclusion[1]},
+            "probability": rule.probability,
+            "support": rule.support,
+            "lift": rule.lift,
+        }
+        for rule in rules
+    ]
+
+
+def rules_from_json(data: list[dict]) -> "RuleSet":
+    """Inverse of :func:`rules_to_json`."""
+    from repro.exceptions import DataError
+
+    rules = RuleSet()
+    for number, item in enumerate(data):
+        try:
+            then = item["then"]
+            if len(then) != 1:
+                raise DataError(
+                    f"rule {number}: THEN must name exactly one attribute"
+                )
+            (conclusion,) = then.items()
+            rules.add(
+                Rule(
+                    conditions=tuple(sorted(item["if"].items())),
+                    conclusion=conclusion,
+                    probability=float(item["probability"]),
+                    support=float(item["support"]),
+                    lift=float(item["lift"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise DataError(f"malformed rule {number}: {error}") from None
+    return rules
+
+
+def write_rules_csv(rules: "RuleSet", path) -> None:
+    """Write rules as CSV (conditions; conclusion; p; support; lift)."""
+    import csv
+    from pathlib import Path
+
+    with Path(path).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["conditions", "conclusion", "probability", "support", "lift"]
+        )
+        for rule in rules:
+            writer.writerow(
+                [
+                    " AND ".join(f"{n}={v}" for n, v in rule.conditions),
+                    f"{rule.conclusion[0]}={rule.conclusion[1]}",
+                    f"{rule.probability:.6f}",
+                    f"{rule.support:.6f}",
+                    f"{rule.lift:.6f}",
+                ]
+            )
+
+
+class RuleGenerator:
+    """Generates IF-THEN rules from a fitted model.
+
+    Two generation modes:
+
+    - :meth:`from_constraints`: one rule family per discovered constraint —
+      the paper's intent, where each significant joint probability yields
+      the conditionals it directly informs.
+    - :meth:`exhaustive`: every rule with up to ``max_conditions``
+      condition attributes, filtered by thresholds — the "compile the whole
+      knowledge base" mode.
+    """
+
+    def __init__(self, model: MaxEntModel):
+        self.model = model
+        self.schema: Schema = model.schema
+
+    def exhaustive(
+        self,
+        max_conditions: int = 2,
+        min_probability: float = 0.0,
+        min_support: float = 0.0,
+        min_lift: float = 0.0,
+    ) -> RuleSet:
+        """All rules with 1..max_conditions conditions meeting thresholds."""
+        rules = RuleSet()
+        names = self.schema.names
+        for conclusion_name in names:
+            other_names = [n for n in names if n != conclusion_name]
+            for size in range(1, max_conditions + 1):
+                for condition_names in combinations(other_names, size):
+                    for rule in self._rules_for(
+                        condition_names, conclusion_name
+                    ):
+                        rules.add(rule)
+        return rules.filter(min_probability, min_support, min_lift)
+
+    def from_constraints(
+        self, min_probability: float = 0.0, min_support: float = 0.0
+    ) -> RuleSet:
+        """Rules induced by the model's adopted cell constraints.
+
+        For each constrained cell over attributes ``S`` and each attribute
+        ``t`` in ``S``, emit ``IF S \\ {t} (at the cell's values) THEN t``.
+        """
+        rules = RuleSet()
+        seen: set[tuple] = set()
+        for names, values in self.model.cell_factors:
+            for position, conclusion_name in enumerate(names):
+                condition_names = tuple(
+                    n for i, n in enumerate(names) if i != position
+                )
+                if not condition_names:
+                    continue
+                condition_values = tuple(
+                    self.schema.attribute(n).value_at(values[i])
+                    for i, n in enumerate(names)
+                    if i != position
+                )
+                conclusion_value = self.schema.attribute(
+                    conclusion_name
+                ).value_at(values[position])
+                key = (condition_names, condition_values, conclusion_name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                rule = self._build_rule(
+                    dict(zip(condition_names, condition_values)),
+                    conclusion_name,
+                    conclusion_value,
+                )
+                if rule is not None:
+                    rules.add(rule)
+        return rules.filter(min_probability, min_support)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _rules_for(
+        self, condition_names: tuple[str, ...], conclusion_name: str
+    ) -> Iterator[Rule]:
+        value_lists = [
+            self.schema.attribute(n).values for n in condition_names
+        ]
+        conclusion_attribute = self.schema.attribute(conclusion_name)
+        for condition_values in product(*value_lists):
+            conditions = dict(zip(condition_names, condition_values))
+            for conclusion_value in conclusion_attribute.values:
+                rule = self._build_rule(
+                    conditions, conclusion_name, conclusion_value
+                )
+                if rule is not None:
+                    yield rule
+
+    def _build_rule(
+        self,
+        conditions: dict[str, str],
+        conclusion_name: str,
+        conclusion_value: str,
+    ) -> Rule | None:
+        support = self.model.probability(conditions)
+        if support <= 0.0:
+            return None
+        try:
+            probability = self.model.conditional(
+                {conclusion_name: conclusion_value}, conditions
+            )
+        except QueryError:
+            return None
+        prior = self.model.probability({conclusion_name: conclusion_value})
+        lift = probability / prior if prior > 0 else float("inf")
+        return Rule(
+            conditions=tuple(sorted(conditions.items())),
+            conclusion=(conclusion_name, conclusion_value),
+            probability=probability,
+            support=support,
+            lift=lift,
+        )

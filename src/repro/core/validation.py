@@ -1,0 +1,260 @@
+"""Model validation: holdout scoring, calibration, cross-validation.
+
+The paper's 1986 evaluation stops at "the formula predicts the observed
+values"; these are the diagnostics a modern user needs before trusting an
+acquired knowledge base:
+
+- :func:`holdout_log_loss` / :func:`perplexity` — out-of-sample predictive
+  quality of the full joint;
+- :func:`conditional_brier_score` — accuracy of the conditional queries an
+  expert system will actually ask;
+- :func:`calibration_table` — do rules that say "70%" fire 70% of the
+  time?
+- :func:`cross_validate` — k-fold stability of discovery itself (how many
+  constraints, how consistent, what holdout score).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp, log
+
+import numpy as np
+
+from repro.data.contingency import ContingencyTable
+from repro.data.dataset import Dataset
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import discover
+from repro.exceptions import DataError
+from repro.maxent.model import MaxEntModel
+
+
+def holdout_log_loss(model: MaxEntModel, holdout: ContingencyTable) -> float:
+    """Average negative log-likelihood per holdout sample (nats).
+
+    Infinite if the model assigns zero probability to an observed cell.
+    """
+    if holdout.total == 0:
+        raise DataError("holdout table is empty")
+    joint = model.joint()
+    counts = holdout.counts
+    mask = counts > 0
+    if (joint[mask] <= 0).any():
+        return float("inf")
+    return float(-(counts[mask] * np.log(joint[mask])).sum() / holdout.total)
+
+
+def perplexity(model: MaxEntModel, holdout: ContingencyTable) -> float:
+    """``exp(log loss)`` — effective number of equally-likely cells."""
+    loss = holdout_log_loss(model, holdout)
+    return float("inf") if loss == float("inf") else exp(loss)
+
+
+def conditional_brier_score(
+    model: MaxEntModel,
+    holdout: ContingencyTable,
+    target: str,
+) -> float:
+    """Brier score of ``P(target | all other attributes)`` on holdout.
+
+    For every holdout sample (weighted by its cell count), the model
+    predicts the distribution of the target attribute from the remaining
+    attributes; the score is the mean squared error against the one-hot
+    outcome.  Lower is better; a perfect oracle scores 0, the constant
+    uniform predictor scores ``(K-1)/K``.
+    """
+    schema = holdout.schema
+    target_attribute = schema.attribute(target)
+    target_axis = schema.axis(target)
+    joint = model.joint()
+    counts = holdout.counts
+    total = holdout.total
+    if total == 0:
+        raise DataError("holdout table is empty")
+
+    # P(target | rest) for every joint cell, shaped like the joint.
+    denominator = joint.sum(axis=target_axis, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        conditional = np.where(
+            denominator > 0, joint / denominator, np.nan
+        )
+
+    score = 0.0
+    for index in np.argwhere(counts > 0):
+        index = tuple(int(i) for i in index)
+        weight = counts[index] / total
+        slicer = list(index)
+        slicer[target_axis] = slice(None)
+        predicted = conditional[tuple(slicer)]
+        if np.isnan(predicted).any():
+            # Evidence the model rules out entirely: maximal penalty.
+            score += weight * 1.0
+            continue
+        outcome = np.zeros(target_attribute.cardinality)
+        outcome[index[target_axis]] = 1.0
+        score += weight * float(((predicted - outcome) ** 2).sum())
+    return score
+
+
+@dataclass
+class CalibrationBin:
+    """One reliability bin: predicted band vs observed frequency."""
+
+    lower: float
+    upper: float
+    predicted_mean: float
+    observed_rate: float
+    weight: float
+
+
+def calibration_table(
+    model: MaxEntModel,
+    holdout: ContingencyTable,
+    target: str,
+    value: str | int,
+    bins: int = 5,
+) -> list[CalibrationBin]:
+    """Reliability diagram data for ``P(target=value | rest)``.
+
+    Holdout samples are grouped by the model's predicted probability; a
+    calibrated model's observed rate tracks the predicted mean bin by bin.
+    Empty bins are omitted.
+    """
+    if bins < 2:
+        raise DataError(f"need at least 2 bins, got {bins}")
+    schema = holdout.schema
+    target_axis = schema.axis(target)
+    value_index = schema.attribute(target).index_of(value)
+    joint = model.joint()
+    denominator = joint.sum(axis=target_axis, keepdims=True)
+
+    predictions: list[float] = []
+    outcomes: list[float] = []
+    weights: list[float] = []
+    counts = holdout.counts
+    for index in np.argwhere(counts > 0):
+        index = tuple(int(i) for i in index)
+        slicer = list(index)
+        slicer[target_axis] = value_index
+        denominator_here = float(
+            denominator[tuple(slicer[:target_axis] + [0] + slicer[target_axis + 1 :])]
+        )
+        if denominator_here <= 0:
+            continue
+        predictions.append(float(joint[tuple(slicer)]) / denominator_here)
+        outcomes.append(1.0 if index[target_axis] == value_index else 0.0)
+        weights.append(float(counts[index]))
+
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    table: list[CalibrationBin] = []
+    predictions_array = np.array(predictions)
+    outcomes_array = np.array(outcomes)
+    weights_array = np.array(weights)
+    total_weight = weights_array.sum()
+    for lower, upper in zip(edges[:-1], edges[1:]):
+        in_bin = (predictions_array >= lower) & (
+            (predictions_array < upper) | (upper == 1.0)
+        )
+        weight = float(weights_array[in_bin].sum())
+        if weight == 0:
+            continue
+        table.append(
+            CalibrationBin(
+                lower=float(lower),
+                upper=float(upper),
+                predicted_mean=float(
+                    np.average(
+                        predictions_array[in_bin],
+                        weights=weights_array[in_bin],
+                    )
+                ),
+                observed_rate=float(
+                    np.average(
+                        outcomes_array[in_bin], weights=weights_array[in_bin]
+                    )
+                ),
+                weight=weight / float(total_weight),
+            )
+        )
+    return table
+
+
+@dataclass
+class FoldResult:
+    """Discovery outcome on one cross-validation fold."""
+
+    fold: int
+    num_constraints: int
+    holdout_log_loss: float
+    constraint_keys: frozenset
+
+
+@dataclass
+class CrossValidationResult:
+    """Aggregate of a k-fold discovery validation."""
+
+    folds: list[FoldResult]
+
+    @property
+    def mean_log_loss(self) -> float:
+        return float(np.mean([f.holdout_log_loss for f in self.folds]))
+
+    @property
+    def mean_constraints(self) -> float:
+        return float(np.mean([f.num_constraints for f in self.folds]))
+
+    def constraint_stability(self) -> float:
+        """Jaccard similarity of adopted constraints across fold pairs
+        (1.0 = every fold finds the identical set)."""
+        if len(self.folds) < 2:
+            return 1.0
+        scores = []
+        for i, first in enumerate(self.folds):
+            for second in self.folds[i + 1 :]:
+                union = first.constraint_keys | second.constraint_keys
+                if not union:
+                    scores.append(1.0)
+                    continue
+                intersection = first.constraint_keys & second.constraint_keys
+                scores.append(len(intersection) / len(union))
+        return float(np.mean(scores))
+
+
+def cross_validate(
+    dataset: Dataset,
+    k: int = 5,
+    config: DiscoveryConfig | None = None,
+    rng: np.random.Generator | None = None,
+) -> CrossValidationResult:
+    """k-fold cross-validation of the discovery pipeline.
+
+    Each fold: discover on k-1 parts, score log loss on the held-out part,
+    record the adopted constraint keys for stability analysis.
+    """
+    if k < 2:
+        raise DataError(f"need at least 2 folds, got {k}")
+    if len(dataset) < k:
+        raise DataError(f"dataset of {len(dataset)} rows cannot make {k} folds")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(len(dataset))
+    fold_indices = np.array_split(order, k)
+
+    folds: list[FoldResult] = []
+    for number, holdout_index in enumerate(fold_indices):
+        train_index = np.concatenate(
+            [f for i, f in enumerate(fold_indices) if i != number]
+        )
+        train = Dataset(dataset.schema, dataset.rows[train_index])
+        holdout = Dataset(dataset.schema, dataset.rows[holdout_index])
+        result = discover(train.to_contingency(), config)
+        folds.append(
+            FoldResult(
+                fold=number,
+                num_constraints=len(result.found),
+                holdout_log_loss=holdout_log_loss(
+                    result.model, holdout.to_contingency()
+                ),
+                constraint_keys=frozenset(c.key for c in result.found),
+            )
+        )
+    return CrossValidationResult(folds=folds)

@@ -1,0 +1,20 @@
+"""Data substrate: schemas, datasets, contingency tables, conversion, I/O."""
+
+from repro.data.contingency import ContingencyTable
+from repro.data.dataset import Dataset
+from repro.data.discretize import Discretizer
+from repro.data.missing import IncompleteDataset, complete_table, em_joint
+from repro.data.schema import Attribute, Schema
+from repro.data.streaming import TableBuilder
+
+__all__ = [
+    "Attribute",
+    "ContingencyTable",
+    "Dataset",
+    "Discretizer",
+    "IncompleteDataset",
+    "Schema",
+    "TableBuilder",
+    "complete_table",
+    "em_joint",
+]

@@ -1,0 +1,137 @@
+"""Appendix A: converting original data to contingency-table form.
+
+The paper's Figure 5 shows "original data form": one row per sample with an
+``x`` in the column of each attribute value the sample has (a one-hot
+indicator block per attribute).  Figure 6 shows the "R-tuples form": one
+column per *joint cell* (ABC triple), again with an ``x`` per sample, whose
+column sums are exactly the contingency-table cells of Figure 1.
+
+This module implements both representations and the conversions between
+them and :class:`~repro.data.dataset.Dataset` /
+:class:`~repro.data.contingency.ContingencyTable`, so the full Appendix-A
+pipeline is executable and testable end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.contingency import ContingencyTable
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.exceptions import DataError
+
+
+def dataset_to_indicator_matrix(dataset: Dataset) -> np.ndarray:
+    """Figure 5: one-hot indicator matrix, one column block per attribute.
+
+    Returns an ``(N, sum of cardinalities)`` 0/1 array.  Column blocks
+    follow schema order; within a block, columns follow value order.
+    """
+    schema = dataset.schema
+    width = sum(a.cardinality for a in schema)
+    matrix = np.zeros((len(dataset), width), dtype=np.int64)
+    offsets = _block_offsets(schema)
+    for axis, offset in enumerate(offsets):
+        matrix[np.arange(len(dataset)), offset + dataset.rows[:, axis]] = 1
+    return matrix
+
+
+def indicator_matrix_to_dataset(schema: Schema, matrix: np.ndarray) -> Dataset:
+    """Inverse of :func:`dataset_to_indicator_matrix`.
+
+    Validates that each sample marks exactly one value per attribute.
+    """
+    matrix = np.asarray(matrix)
+    width = sum(a.cardinality for a in schema)
+    if matrix.ndim != 2 or matrix.shape[1] != width:
+        raise DataError(
+            f"indicator matrix must have {width} columns, got shape "
+            f"{matrix.shape}"
+        )
+    offsets = _block_offsets(schema)
+    columns = []
+    for attribute, offset in zip(schema, offsets):
+        block = matrix[:, offset : offset + attribute.cardinality]
+        row_sums = block.sum(axis=1)
+        if not (row_sums == 1).all():
+            bad = int(np.flatnonzero(row_sums != 1)[0])
+            raise DataError(
+                f"sample {bad} does not mark exactly one value for "
+                f"attribute {attribute.name!r}"
+            )
+        columns.append(block.argmax(axis=1))
+    rows = np.column_stack(columns) if columns else np.empty((0, 0), dtype=np.int64)
+    return Dataset(schema, rows.astype(np.int64))
+
+
+def dataset_to_tuple_matrix(dataset: Dataset) -> np.ndarray:
+    """Figure 6: R-tuples form — one column per joint cell.
+
+    Returns an ``(N, num_cells)`` 0/1 array; columns are ordered by the
+    C-order (row-major) flattening of the joint tensor, so column sums equal
+    ``table.counts.ravel()``.
+    """
+    schema = dataset.schema
+    matrix = np.zeros((len(dataset), schema.num_cells), dtype=np.int64)
+    flat = np.ravel_multi_index(tuple(dataset.rows.T), schema.shape)
+    matrix[np.arange(len(dataset)), flat] = 1
+    return matrix
+
+
+def tuple_matrix_to_dataset(schema: Schema, matrix: np.ndarray) -> Dataset:
+    """Inverse of :func:`dataset_to_tuple_matrix`."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] != schema.num_cells:
+        raise DataError(
+            f"tuple matrix must have {schema.num_cells} columns, got shape "
+            f"{matrix.shape}"
+        )
+    row_sums = matrix.sum(axis=1)
+    if not (row_sums == 1).all():
+        bad = int(np.flatnonzero(row_sums != 1)[0])
+        raise DataError(f"sample {bad} does not mark exactly one joint cell")
+    flat = matrix.argmax(axis=1)
+    rows = np.column_stack(np.unravel_index(flat, schema.shape))
+    return Dataset(schema, rows.astype(np.int64))
+
+
+def tuple_matrix_to_contingency(
+    schema: Schema, matrix: np.ndarray
+) -> ContingencyTable:
+    """Sum the R-tuples columns into contingency cells (Figure 6 bottom row).
+
+    The paper: "the summations of the triples are the values of the cells in
+    Figure 1."
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] != schema.num_cells:
+        raise DataError(
+            f"tuple matrix must have {schema.num_cells} columns, got shape "
+            f"{matrix.shape}"
+        )
+    counts = matrix.sum(axis=0).reshape(schema.shape)
+    return ContingencyTable(schema, counts)
+
+
+def tuple_column_labels(schema: Schema) -> list[str]:
+    """Human-readable labels for the R-tuples columns, e.g. ``"ABC=121"``.
+
+    Value numbers are 1-based to match the paper's notation
+    (``N_111, N_121, ...``).
+    """
+    prefix = "".join(name[0] for name in schema.names)
+    labels = []
+    for index in np.ndindex(schema.shape):
+        digits = "".join(str(i + 1) for i in index)
+        labels.append(f"{prefix}={digits}")
+    return labels
+
+
+def _block_offsets(schema: Schema) -> list[int]:
+    offsets = []
+    position = 0
+    for attribute in schema:
+        offsets.append(position)
+        position += attribute.cardinality
+    return offsets

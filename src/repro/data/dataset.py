@@ -1,0 +1,153 @@
+"""Raw sample datasets (the paper's "original data form", Figure 5).
+
+A :class:`Dataset` holds N samples over a schema, each a tuple of value
+indices.  It is the entry point of the Appendix-A pipeline: raw samples are
+tallied into a :class:`~repro.data.contingency.ContingencyTable` which every
+downstream stage consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.contingency import ContingencyTable
+from repro.data.schema import Schema
+from repro.exceptions import DataError
+
+
+class Dataset:
+    """An ordered collection of categorical samples over a schema."""
+
+    def __init__(self, schema: Schema, rows: np.ndarray):
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[1] != len(schema):
+            raise DataError(
+                f"rows must be a (N, {len(schema)}) array, got shape {rows.shape}"
+            )
+        for axis, attribute in enumerate(schema):
+            column = rows[:, axis]
+            if column.size and (
+                column.min() < 0 or column.max() >= attribute.cardinality
+            ):
+                raise DataError(
+                    f"column for attribute {attribute.name!r} has out-of-range "
+                    f"value indices"
+                )
+        self.schema = schema
+        self.rows = rows
+        self.rows.setflags(write=False)
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_samples(
+        cls, schema: Schema, samples: Iterable[Sequence[str | int]]
+    ) -> "Dataset":
+        """Build from samples of value labels (or indices) in schema order."""
+        converted = []
+        width = len(schema)
+        for row_number, sample in enumerate(samples):
+            if len(sample) != width:
+                raise DataError(
+                    f"sample {row_number} has {len(sample)} fields, "
+                    f"schema has {width} attributes"
+                )
+            converted.append(
+                [attr.index_of(v) for attr, v in zip(schema, sample)]
+            )
+        rows = (
+            np.array(converted, dtype=np.int64)
+            if converted
+            else np.empty((0, width), dtype=np.int64)
+        )
+        return cls(schema, rows)
+
+    @classmethod
+    def from_records(
+        cls, schema: Schema, records: Iterable[Mapping[str, str | int]]
+    ) -> "Dataset":
+        """Build from dict records ``{attribute name: value}``."""
+        names = schema.names
+        return cls.from_samples(
+            schema, ([record[name] for name in names] for record in records)
+        )
+
+    @classmethod
+    def from_joint(
+        cls,
+        schema: Schema,
+        joint: np.ndarray,
+        n: int,
+        rng: np.random.Generator,
+    ) -> "Dataset":
+        """Draw ``n`` i.i.d. samples from a joint probability tensor.
+
+        This is how synthetic survey populations are turned into observed
+        data: the algorithm under study only ever sees the sampled counts.
+        """
+        joint = np.asarray(joint, dtype=float)
+        if joint.shape != schema.shape:
+            raise DataError(
+                f"joint shape {joint.shape} does not match schema "
+                f"shape {schema.shape}"
+            )
+        flat = joint.ravel()
+        if (flat < -1e-12).any():
+            raise DataError("joint probabilities must be non-negative")
+        flat = np.clip(flat, 0.0, None)
+        total = flat.sum()
+        if total <= 0:
+            raise DataError("joint probabilities must not all be zero")
+        flat = flat / total
+        draws = rng.choice(flat.size, size=n, p=flat)
+        rows = np.column_stack(np.unravel_index(draws, schema.shape))
+        return cls(schema, rows.astype(np.int64))
+
+    # -- container protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.rows.shape[0]
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        for row in self.rows:
+            yield tuple(int(v) for v in row)
+
+    def __getitem__(self, index: int) -> tuple[int, ...]:
+        return tuple(int(v) for v in self.rows[index])
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.schema!r}, n={len(self)})"
+
+    # -- views --------------------------------------------------------------------
+
+    def record(self, index: int) -> dict[str, str]:
+        """The index-th sample as ``{attribute name: value label}``."""
+        return {
+            attribute.name: attribute.value_at(int(v))
+            for attribute, v in zip(self.schema, self.rows[index])
+        }
+
+    def records(self) -> Iterator[dict[str, str]]:
+        """Iterate all samples as labelled records."""
+        for index in range(len(self)):
+            yield self.record(index)
+
+    def to_contingency(self) -> ContingencyTable:
+        """Tally the samples into a contingency table (Appendix A)."""
+        counts = np.zeros(self.schema.shape, dtype=np.int64)
+        np.add.at(counts, tuple(self.rows.T), 1)
+        return ContingencyTable(self.schema, counts)
+
+    def split(self, fraction: float, rng: np.random.Generator) -> tuple["Dataset", "Dataset"]:
+        """Random split into two datasets (e.g. train / holdout)."""
+        if not 0.0 < fraction < 1.0:
+            raise DataError(f"fraction must be in (0, 1), got {fraction}")
+        n = len(self)
+        order = rng.permutation(n)
+        cut = int(round(n * fraction))
+        return (
+            Dataset(self.schema, self.rows[order[:cut]]),
+            Dataset(self.schema, self.rows[order[cut:]]),
+        )

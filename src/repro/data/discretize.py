@@ -1,0 +1,126 @@
+"""Discretization of continuous measurements into categorical attributes.
+
+The paper's pipeline consumes categorical attributes only, but its motivating
+data sources (wind-tunnel tests, spacecraft observations, simulations) are
+largely continuous.  This module bins continuous columns so such data can
+enter the contingency-table pipeline.
+
+Two binning rules are provided:
+
+- :func:`equal_width_edges`: bins of equal numeric width over the observed
+  range.
+- :func:`quantile_edges`: bins holding (approximately) equal numbers of
+  samples.
+
+A :class:`Discretizer` fits edges on training data and then maps values —
+including previously unseen out-of-range values, which clip to the extreme
+bins — to value indices of a generated :class:`~repro.data.schema.Attribute`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.schema import Attribute
+from repro.exceptions import DataError
+
+
+def equal_width_edges(values: Sequence[float], bins: int) -> np.ndarray:
+    """Interior bin edges splitting the observed range into equal widths."""
+    values = _validated(values, bins)
+    low = float(np.min(values))
+    high = float(np.max(values))
+    if low == high:
+        raise DataError("cannot bin a constant column into multiple bins")
+    return np.linspace(low, high, bins + 1)[1:-1]
+
+
+def quantile_edges(values: Sequence[float], bins: int) -> np.ndarray:
+    """Interior bin edges at evenly spaced quantiles of the data."""
+    values = _validated(values, bins)
+    quantiles = np.linspace(0.0, 1.0, bins + 1)[1:-1]
+    edges = np.quantile(values, quantiles)
+    if len(np.unique(edges)) != len(edges):
+        raise DataError(
+            "quantile edges are not distinct; data is too discrete for "
+            f"{bins} quantile bins — use equal-width bins or fewer bins"
+        )
+    return edges
+
+
+class Discretizer:
+    """Maps a continuous column to a categorical attribute.
+
+    Parameters
+    ----------
+    name:
+        Name for the generated attribute.
+    edges:
+        Sorted interior bin edges; ``len(edges) + 1`` bins result.  A value
+        ``v`` lands in bin ``i`` iff ``edges[i-1] <= v < edges[i]`` (with
+        open extremes, so any real value maps to some bin).
+    """
+
+    def __init__(self, name: str, edges: Sequence[float]):
+        edges = np.asarray(edges, dtype=float)
+        if edges.ndim != 1 or edges.size == 0:
+            raise DataError("edges must be a non-empty 1-D sequence")
+        if not (np.diff(edges) > 0).all():
+            raise DataError("edges must be strictly increasing")
+        self.name = name
+        self.edges = edges
+
+    @classmethod
+    def fit(
+        cls,
+        name: str,
+        values: Sequence[float],
+        bins: int,
+        method: str = "width",
+    ) -> "Discretizer":
+        """Fit bin edges on training values using the named method."""
+        if method == "width":
+            edges = equal_width_edges(values, bins)
+        elif method == "quantile":
+            edges = quantile_edges(values, bins)
+        else:
+            raise DataError(
+                f"unknown binning method {method!r}; use 'width' or 'quantile'"
+            )
+        return cls(name, edges)
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.edges) + 1
+
+    def attribute(self) -> Attribute:
+        """The categorical attribute induced by the bins.
+
+        Labels describe the intervals, e.g. ``"<2.5"``, ``"[2.5,5.0)"``,
+        ``">=5.0"``.
+        """
+        labels = [f"<{self.edges[0]:g}"]
+        for low, high in zip(self.edges[:-1], self.edges[1:]):
+            labels.append(f"[{low:g},{high:g})")
+        labels.append(f">={self.edges[-1]:g}")
+        return Attribute(self.name, tuple(labels))
+
+    def transform(self, values: Sequence[float]) -> np.ndarray:
+        """Map values to bin indices (0-based, length ``num_bins``)."""
+        values = np.asarray(values, dtype=float)
+        if np.isnan(values).any():
+            raise DataError("cannot discretize NaN values")
+        return np.searchsorted(self.edges, values, side="right")
+
+
+def _validated(values: Sequence[float], bins: int) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1 or array.size == 0:
+        raise DataError("values must be a non-empty 1-D sequence")
+    if np.isnan(array).any():
+        raise DataError("values must not contain NaN")
+    if bins < 2:
+        raise DataError(f"need at least 2 bins, got {bins}")
+    return array

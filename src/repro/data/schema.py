@@ -1,0 +1,210 @@
+"""Attribute schemas for categorical survey data.
+
+The paper works with discrete attributes such as ``SMOKING`` (3 values),
+``CANCER`` (2 values) and ``FAMILY HISTORY OF CANCER`` (2 values).  A
+:class:`Schema` is an ordered collection of :class:`Attribute` objects; the
+order fixes the axis layout of every contingency table and joint-probability
+tensor built from it.
+
+The paper assumes each attribute's value range is *complete* ("made so by
+adding the value 'other', if necessary"); :meth:`Attribute.completed`
+implements exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import SchemaError
+
+OTHER_LABEL = "other"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named categorical attribute with a fixed, ordered set of values.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, e.g. ``"SMOKING"``.  Must be non-empty.
+    values:
+        Ordered value labels, e.g. ``("smoker", "non-smoker", ...)``.
+        Must contain at least two distinct labels.
+    """
+
+    name: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if not isinstance(self.values, tuple):
+            # Allow lists at construction time for convenience.
+            object.__setattr__(self, "values", tuple(self.values))
+        if len(self.values) < 2:
+            raise SchemaError(
+                f"attribute {self.name!r} needs at least 2 values, "
+                f"got {len(self.values)}"
+            )
+        if len(set(self.values)) != len(self.values):
+            raise SchemaError(f"attribute {self.name!r} has duplicate values")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of values this attribute can take."""
+        return len(self.values)
+
+    def index_of(self, value: str | int) -> int:
+        """Map a value label (or an already-valid index) to its index."""
+        if isinstance(value, int) and not isinstance(value, bool):
+            if 0 <= value < len(self.values):
+                return value
+            raise SchemaError(
+                f"value index {value} out of range for attribute "
+                f"{self.name!r} (cardinality {self.cardinality})"
+            )
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise SchemaError(
+                f"unknown value {value!r} for attribute {self.name!r}; "
+                f"known values: {list(self.values)}"
+            ) from None
+
+    def value_at(self, index: int) -> str:
+        """Return the label of the value at ``index``."""
+        if not 0 <= index < len(self.values):
+            raise SchemaError(
+                f"value index {index} out of range for attribute {self.name!r}"
+            )
+        return self.values[index]
+
+    def completed(self) -> "Attribute":
+        """Return a copy with an ``"other"`` value appended if absent.
+
+        Implements the paper's completeness assumption: every attribute's
+        value range is made exhaustive by adding "other".
+        """
+        if OTHER_LABEL in self.values:
+            return self
+        return Attribute(self.name, self.values + (OTHER_LABEL,))
+
+
+class Schema:
+    """An ordered set of attributes defining the shape of a joint space.
+
+    The i-th attribute corresponds to axis i of every count / probability
+    tensor built against this schema.
+    """
+
+    def __init__(self, attributes: Sequence[Attribute]):
+        attributes = tuple(attributes)
+        if not attributes:
+            raise SchemaError("schema needs at least one attribute")
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        self._attributes = attributes
+        self._axis_by_name = {a.name: i for i, a in enumerate(attributes)}
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.name}[{a.cardinality}]" for a in self)
+        return f"Schema({inner})"
+
+    # -- lookups ------------------------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Tensor shape ``(I, J, K, ...)`` implied by the attribute order."""
+        return tuple(a.cardinality for a in self._attributes)
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of joint cells ``I*J*K*...``."""
+        size = 1
+        for a in self._attributes:
+            size *= a.cardinality
+        return size
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name``."""
+        try:
+            return self._attributes[self._axis_by_name[name]]
+        except KeyError:
+            raise SchemaError(
+                f"no attribute named {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def axis(self, name: str) -> int:
+        """Return the tensor axis of attribute ``name``."""
+        try:
+            return self._axis_by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"no attribute named {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def axes(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Return tensor axes for several attribute names (input order)."""
+        return tuple(self.axis(n) for n in names)
+
+    def canonical_subset(self, names: Sequence[str]) -> tuple[str, ...]:
+        """Return ``names`` sorted into schema order, validating membership.
+
+        Raises :class:`SchemaError` on unknown or duplicate names.  Constraint
+        keys and marginal identifiers always use this canonical order so that
+        ``("B", "A")`` and ``("A", "B")`` denote the same marginal.
+        """
+        axes = [self.axis(n) for n in names]
+        if len(set(axes)) != len(axes):
+            raise SchemaError(f"duplicate attribute names in subset: {names}")
+        return tuple(n for _, n in sorted(zip(axes, names)))
+
+    def indices_of(self, assignment: Mapping[str, str | int]) -> dict[str, int]:
+        """Convert ``{name: label-or-index}`` to ``{name: index}``."""
+        return {
+            name: self.attribute(name).index_of(value)
+            for name, value in assignment.items()
+        }
+
+    def labels_of(self, assignment: Mapping[str, int]) -> dict[str, str]:
+        """Convert ``{name: index}`` back to ``{name: label}``."""
+        return {
+            name: self.attribute(name).value_at(index)
+            for name, index in assignment.items()
+        }
+
+    def subschema(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted to ``names`` (kept in schema order)."""
+        ordered = self.canonical_subset(names)
+        return Schema([self.attribute(n) for n in ordered])
+
+    def completed(self) -> "Schema":
+        """Schema with every attribute's value range made exhaustive."""
+        return Schema([a.completed() for a in self._attributes])

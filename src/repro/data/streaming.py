@@ -1,0 +1,84 @@
+"""Incremental table accumulation for data arriving in batches.
+
+The paper's data sources (surveys, telemetry downlinks) arrive over time;
+a :class:`TableBuilder` accumulates batches of samples, records, tables or
+datasets into one contingency table without keeping raw samples around,
+and can hand out snapshots for interim discovery runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.contingency import ContingencyTable
+from repro.data.dataset import Dataset
+from repro.data.schema import Schema
+from repro.exceptions import DataError
+
+
+class TableBuilder:
+    """Accumulates observations into a contingency table."""
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._counts = np.zeros(schema.shape, dtype=np.int64)
+        self._batches = 0
+
+    @property
+    def total(self) -> int:
+        """Samples accumulated so far."""
+        return int(self._counts.sum())
+
+    @property
+    def batches(self) -> int:
+        """Number of add_* calls absorbed."""
+        return self._batches
+
+    def add_sample(self, sample: Sequence[str | int]) -> None:
+        """Tally one sample (labels or indices, schema order)."""
+        if len(sample) != len(self.schema):
+            raise DataError(
+                f"sample has {len(sample)} fields, schema has "
+                f"{len(self.schema)} attributes"
+            )
+        index = tuple(
+            attribute.index_of(value)
+            for attribute, value in zip(self.schema, sample)
+        )
+        self._counts[index] += 1
+        self._batches += 1
+
+    def add_record(self, record: Mapping[str, str | int]) -> None:
+        """Tally one dict record ``{attribute name: value}``."""
+        self.add_sample([record[name] for name in self.schema.names])
+
+    def add_samples(self, samples: Iterable[Sequence[str | int]]) -> None:
+        """Tally a batch of samples."""
+        batch = ContingencyTable.from_samples(self.schema, samples)
+        self._counts += batch.counts
+        self._batches += 1
+
+    def add_dataset(self, dataset: Dataset) -> None:
+        """Absorb a whole dataset."""
+        if dataset.schema != self.schema:
+            raise DataError("dataset schema does not match builder schema")
+        self._counts += dataset.to_contingency().counts
+        self._batches += 1
+
+    def add_table(self, table: ContingencyTable) -> None:
+        """Merge another contingency table (e.g. from another site)."""
+        if table.schema != self.schema:
+            raise DataError("table schema does not match builder schema")
+        self._counts += table.counts
+        self._batches += 1
+
+    def snapshot(self) -> ContingencyTable:
+        """Current accumulated table (a copy; the builder keeps counting)."""
+        return ContingencyTable(self.schema, self._counts.copy())
+
+    def reset(self) -> None:
+        """Drop all accumulated counts."""
+        self._counts = np.zeros(self.schema.shape, dtype=np.int64)
+        self._batches = 0

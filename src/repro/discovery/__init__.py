@@ -1,0 +1,13 @@
+"""Discovery of significant correlations (the paper's Figure-3 procedure)."""
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import DiscoveryEngine, discover
+from repro.discovery.trace import DiscoveryResult, ScanRecord
+
+__all__ = [
+    "DiscoveryConfig",
+    "DiscoveryEngine",
+    "DiscoveryResult",
+    "ScanRecord",
+    "discover",
+]

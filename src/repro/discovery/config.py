@@ -1,0 +1,70 @@
+"""Configuration of the discovery loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import DataError
+from repro.maxent.constraints import CellConstraint
+from repro.significance.mml import MMLPriors
+
+#: Solver names accepted by :class:`DiscoveryConfig`.
+SOLVERS = ("ipf", "gevarter")
+
+
+@dataclass(frozen=True)
+class DiscoveryConfig:
+    """Knobs of the Figure-3 procedure.
+
+    Attributes
+    ----------
+    max_order:
+        Highest interaction order to scan; ``None`` means all the way to R
+        (the full attribute count), the paper's default.
+    priors:
+        MML hypothesis priors; the default cancels the prior terms (Eq 63).
+    solver:
+        ``"ipf"`` (fast sweeps) or ``"gevarter"`` (the paper's sequential
+        scalar updates with full traces).
+    tol / max_sweeps:
+        Solver convergence settings for each refit.
+    max_constraints:
+        Safety cap on the total number of cell constraints adopted;
+        ``None`` means unlimited (the scan itself terminates because each
+        cell is adopted at most once).
+    given_constraints:
+        Cell constraints known *a priori* — the paper's "higher-order
+        marginals ... originally given as significant".  They are imposed
+        before the first scan, participate in the Eq-41 range bounds, and
+        are never re-tested.
+    """
+
+    max_order: int | None = None
+    priors: MMLPriors = field(default_factory=MMLPriors.equal)
+    solver: str = "ipf"
+    tol: float = 1e-10
+    max_sweeps: int = 500
+    max_constraints: int | None = None
+    given_constraints: tuple[CellConstraint, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.given_constraints, tuple):
+            object.__setattr__(
+                self, "given_constraints", tuple(self.given_constraints)
+            )
+        if self.solver not in SOLVERS:
+            raise DataError(
+                f"unknown solver {self.solver!r}; choose one of {SOLVERS}"
+            )
+        if self.max_order is not None and self.max_order < 2:
+            raise DataError(
+                f"max_order must be >= 2 (or None), got {self.max_order}"
+            )
+        if self.max_constraints is not None and self.max_constraints < 0:
+            raise DataError(
+                f"max_constraints must be >= 0, got {self.max_constraints}"
+            )
+        if self.tol <= 0:
+            raise DataError(f"tol must be positive, got {self.tol}")
+        if self.max_sweeps < 1:
+            raise DataError(f"max_sweeps must be >= 1, got {self.max_sweeps}")

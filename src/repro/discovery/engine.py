@@ -1,0 +1,130 @@
+"""The discovery loop of Figure 3.
+
+Starting from the independence model (first-order margins only), the engine
+scans every marginal cell at order 2 with the MML test, adopts the most
+significant cell as a new constraint, refits the ``a`` values (warm-started,
+per Figure 4's "starting with the last previously calculated a values"),
+and rescans — until no cell at that order is significant.  It then moves to
+order 3 and so on up to R (or ``config.max_order``).
+"""
+
+from __future__ import annotations
+
+from repro.data.contingency import ContingencyTable
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.trace import DiscoveryResult, ScanRecord
+from repro.exceptions import ConstraintError, DataError
+from repro.maxent.constraints import ConstraintSet
+from repro.maxent.gevarter import fit_gevarter
+from repro.maxent.ipf import fit_ipf
+from repro.maxent.model import MaxEntModel
+from repro.significance.mml import most_significant, scan_order
+
+
+class DiscoveryEngine:
+    """Finds all statistically significant correlations in a table."""
+
+    def __init__(self, config: DiscoveryConfig | None = None):
+        self.config = config or DiscoveryConfig()
+
+    def run(self, table: ContingencyTable) -> DiscoveryResult:
+        """Execute the full Figure-3 procedure on a contingency table."""
+        if table.total == 0:
+            raise DataError("cannot run discovery on an empty table")
+        config = self.config
+        schema = table.schema
+        constraints = ConstraintSet.first_order(table)
+        model = MaxEntModel.independent(
+            schema,
+            {name: constraints.margin(name) for name in schema.names},
+        )
+        if config.given_constraints:
+            # The paper's "originally given as significant" marginals:
+            # imposed before the first scan and never re-tested.
+            for given in config.given_constraints:
+                constraints.add_cell(given)
+            model = self._fit(constraints, model).model
+        self._num_given = len(config.given_constraints)
+        result = DiscoveryResult(table=table, model=model, constraints=constraints)
+
+        highest_order = config.max_order or len(schema)
+        highest_order = min(highest_order, len(schema))
+        for order in range(2, highest_order + 1):
+            model = self._scan_level(table, order, constraints, model, result)
+        result.model = model
+        return result
+
+    def _scan_level(
+        self,
+        table: ContingencyTable,
+        order: int,
+        constraints: ConstraintSet,
+        model: MaxEntModel,
+        result: DiscoveryResult,
+    ) -> MaxEntModel:
+        """Repeat scan-adopt-refit at one order until nothing is significant."""
+        config = self.config
+        while True:
+            tests = scan_order(table, model, order, constraints, config.priors)
+            best = most_significant(tests)
+            if best is not None and self._at_capacity(constraints):
+                best = None
+            if best is None:
+                result.scans.append(
+                    ScanRecord(order=order, tests=tests, chosen=None)
+                )
+                return model
+
+            constraint = constraints.cell_from_table(
+                table, best.attributes, best.values
+            )
+            try:
+                constraints.add_cell(constraint)
+            except ConstraintError:
+                # Degenerate candidate (e.g. target indistinguishable from a
+                # containing marginal); record the scan and stop this order.
+                result.scans.append(
+                    ScanRecord(order=order, tests=tests, chosen=None)
+                )
+                return model
+            fit = self._fit(constraints, model)
+            model = fit.model
+            result.scans.append(
+                ScanRecord(
+                    order=order,
+                    tests=tests,
+                    chosen=best,
+                    fit_sweeps=fit.sweeps,
+                )
+            )
+
+    def _fit(self, constraints: ConstraintSet, warm_start: MaxEntModel):
+        config = self.config
+        if config.solver == "gevarter":
+            return fit_gevarter(
+                constraints,
+                initial=warm_start,
+                tol=config.tol,
+                max_sweeps=config.max_sweeps,
+                record_trace=False,
+            )
+        return fit_ipf(
+            constraints,
+            initial=warm_start,
+            tol=config.tol,
+            max_sweeps=config.max_sweeps,
+        )
+
+    def _at_capacity(self, constraints: ConstraintSet) -> bool:
+        cap = self.config.max_constraints
+        if cap is None:
+            return False
+        adopted = len(constraints.cells) - getattr(self, "_num_given", 0)
+        return adopted >= cap
+
+
+def discover(
+    table: ContingencyTable, config: DiscoveryConfig | None = None
+) -> DiscoveryResult:
+    """Convenience wrapper: run discovery with an optional config."""
+    return DiscoveryEngine(config).run(table)

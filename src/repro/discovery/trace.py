@@ -1,0 +1,75 @@
+"""Audit trail of a discovery run.
+
+Every scan (one pass over the candidate cells at one order) is recorded
+with its full list of :class:`~repro.significance.result.CellTest` rows and
+the chosen constraint, so a run can be replayed, rendered as the paper's
+Table 1, and asserted against in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.contingency import ContingencyTable
+from repro.maxent.constraints import CellConstraint, ConstraintSet
+from repro.maxent.model import MaxEntModel
+from repro.significance.result import CellTest
+
+
+@dataclass
+class ScanRecord:
+    """One scan of all candidate cells at one order.
+
+    ``chosen`` is None for the terminating scan at each order (the scan
+    that found nothing significant).
+    """
+
+    order: int
+    tests: list[CellTest]
+    chosen: CellTest | None
+    fit_sweeps: int = 0
+
+    @property
+    def significant(self) -> list[CellTest]:
+        return [t for t in self.tests if t.significant]
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything produced by a discovery run."""
+
+    table: ContingencyTable
+    model: MaxEntModel
+    constraints: ConstraintSet
+    scans: list[ScanRecord] = field(default_factory=list)
+
+    @property
+    def found(self) -> tuple[CellConstraint, ...]:
+        """Cell constraints adopted, in discovery order."""
+        return self.constraints.cells
+
+    def found_at_order(self, order: int) -> tuple[CellConstraint, ...]:
+        return self.constraints.cells_of_order(order)
+
+    def num_scans(self) -> int:
+        return len(self.scans)
+
+    def summary(self) -> str:
+        """Readable multi-line report of what was discovered."""
+        schema = self.table.schema
+        lines = [
+            f"Discovery over N={self.table.total} samples, "
+            f"{len(schema)} attributes {list(schema.names)}",
+            f"scans: {len(self.scans)}, constraints found: {len(self.found)}",
+        ]
+        for number, constraint in enumerate(self.found, start=1):
+            observed = self.table.count(
+                dict(zip(constraint.attributes, constraint.values))
+            )
+            lines.append(
+                f"  {number}. {constraint.describe(schema)}  "
+                f"[observed N={observed}]"
+            )
+        if not self.found:
+            lines.append("  (no significant correlations; attributes look independent)")
+        return "\n".join(lines)

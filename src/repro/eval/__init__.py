@@ -1,0 +1,6 @@
+"""Evaluation: paper fixtures, table rendering, experiment harness."""
+
+from repro.eval.paper import paper_schema, paper_table
+from repro.eval.tables import format_table
+
+__all__ = ["format_table", "paper_schema", "paper_table"]

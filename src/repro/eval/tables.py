@@ -1,0 +1,42 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_cell(value, floatfmt: str = ".3f") -> str:
+    """Render one table cell: floats formatted, None blank, rest str()."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    floatfmt: str = ".3f",
+) -> str:
+    """Align headers and rows into a monospace table."""
+    rendered = [[format_cell(v, floatfmt) for v in row] for row in rows]
+    columns = len(headers)
+    for number, row in enumerate(rendered):
+        if len(row) != columns:
+            raise ValueError(
+                f"row {number} has {len(row)} cells, header has {columns}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        for c in range(columns)
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

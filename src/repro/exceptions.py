@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """An attribute schema is malformed or an attribute lookup failed."""
+
+
+class DataError(ReproError):
+    """Raw data does not conform to its schema (bad labels, shapes, counts)."""
+
+
+class ConstraintError(ReproError):
+    """A probability constraint is invalid or inconsistent with others."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach the requested tolerance."""
+
+
+class QueryError(ReproError):
+    """A probability query is malformed or has zero-probability evidence."""

@@ -1,0 +1,76 @@
+"""Information-theoretic quantities used throughout the paper.
+
+The entropy (Eq 7) drives the whole method: the fitted model is the
+*maximum-entropy* distribution consistent with the constraints.  The tests
+use these functions to assert the defining property — among distributions
+matching the constraints, the fitted model's entropy is maximal (in
+particular at least the empirical distribution's, which satisfies strictly
+more constraints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def entropy(probabilities: np.ndarray) -> float:
+    """Shannon entropy ``H = -sum p ln p`` in nats (Eq 7).
+
+    Zero-probability cells contribute zero (the ``p ln p -> 0`` limit).
+    """
+    p = np.asarray(probabilities, dtype=float).ravel()
+    _validate_distribution(p)
+    positive = p[p > 0]
+    return float(-(positive * np.log(positive)).sum())
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """``KL(p || q) = sum p ln(p/q)`` in nats.
+
+    Infinite when ``p`` puts mass where ``q`` does not.
+    """
+    p = np.asarray(p, dtype=float).ravel()
+    q = np.asarray(q, dtype=float).ravel()
+    if p.shape != q.shape:
+        raise DataError(
+            f"distributions have different sizes: {p.shape} vs {q.shape}"
+        )
+    _validate_distribution(p)
+    _validate_distribution(q)
+    mask = p > 0
+    if (q[mask] == 0).any():
+        return float("inf")
+    return float((p[mask] * np.log(p[mask] / q[mask])).sum())
+
+
+def mutual_information(joint: np.ndarray) -> float:
+    """Mutual information of a 2-D joint distribution, in nats."""
+    joint = np.asarray(joint, dtype=float)
+    if joint.ndim != 2:
+        raise DataError(f"mutual information needs a 2-D joint, got rank {joint.ndim}")
+    _validate_distribution(joint.ravel())
+    row = joint.sum(axis=1)
+    col = joint.sum(axis=0)
+    independent = np.outer(row, col)
+    return kl_divergence(joint.ravel(), independent.ravel())
+
+
+def conditional_entropy(joint: np.ndarray) -> float:
+    """``H(row | col)`` for a 2-D joint distribution, in nats."""
+    joint = np.asarray(joint, dtype=float)
+    if joint.ndim != 2:
+        raise DataError(
+            f"conditional entropy needs a 2-D joint, got rank {joint.ndim}"
+        )
+    col = joint.sum(axis=0)
+    return entropy(joint) - entropy(col)
+
+
+def _validate_distribution(p: np.ndarray) -> None:
+    if (p < -1e-12).any():
+        raise DataError("probabilities must be non-negative")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise DataError(f"probabilities must sum to 1, sum to {total}")

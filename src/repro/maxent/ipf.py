@@ -1,0 +1,250 @@
+"""Iterative proportional fitting of the factored maxent model.
+
+One sweep applies, for every constraint, the exact multiplicative update
+that makes the model satisfy that constraint while leaving its factored
+form intact:
+
+- a first-order margin scales each value slice by ``target / current``
+  (classic IPF; total mass is preserved because targets sum to 1);
+- a cell constraint scales the cell slice by ``p / s`` and the complement
+  by ``(1 - p) / (1 - s)`` — the IPF step for the binary partition
+  {cell, complement}, which is the cell's indicator feature plus
+  normalization.
+
+Factor bookkeeping keeps the paper's ``a`` values exact: every slice scaling
+multiplies the corresponding ``a`` factor, and complement scalings are
+absorbed into ``a0``.  This converges to the same fixed point as the paper's
+Gauss–Seidel scheme (:mod:`repro.maxent.gevarter`); the tests assert so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConstraintError, ConvergenceError
+from repro.maxent.constraints import ConstraintSet
+from repro.maxent.model import MaxEntModel
+
+_CELL_TARGET_CEILING = 1.0 - 1e-12
+
+
+@dataclass
+class FitResult:
+    """Outcome of an iterative fit.
+
+    Attributes
+    ----------
+    model:
+        The fitted model (normalized).
+    converged:
+        True if the max constraint violation dropped below tolerance.
+    sweeps:
+        Number of full sweeps performed.
+    max_violation:
+        Final maximum absolute constraint violation.
+    history:
+        Max violation after each sweep.
+    trace:
+        Optional per-sweep snapshots of all named ``a`` values (Table-2
+        style); empty unless tracing was requested.
+    """
+
+    model: MaxEntModel
+    converged: bool
+    sweeps: int
+    max_violation: float
+    history: list[float] = field(default_factory=list)
+    trace: list[dict[str, float]] = field(default_factory=list)
+
+
+def fit_ipf(
+    constraints: ConstraintSet,
+    initial: MaxEntModel | None = None,
+    tol: float = 1e-10,
+    max_sweeps: int = 500,
+    record_trace: bool = False,
+    require_convergence: bool = True,
+) -> FitResult:
+    """Fit the maxent model satisfying ``constraints`` by IPF sweeps.
+
+    Parameters
+    ----------
+    constraints:
+        Complete constraint set (every attribute must have a margin).
+    initial:
+        Warm-start model; defaults to the all-ones factor model.  Warm
+        starts make the discovery loop's repeated refits cheap, mirroring
+        the paper's "starting with the last previously calculated a values".
+    tol:
+        Convergence threshold on the max absolute constraint violation.
+    max_sweeps:
+        Sweep budget.
+    record_trace:
+        If True, snapshot all ``a`` values after every sweep.
+    require_convergence:
+        If True (default) raise :class:`ConvergenceError` when the budget is
+        exhausted; otherwise return the best-effort result.
+    """
+    constraints.validate_complete()
+    schema = constraints.schema
+    for cell in constraints.cells:
+        if cell.probability >= _CELL_TARGET_CEILING:
+            raise ConstraintError(
+                f"cell constraint {cell.key} has target ~1; degenerate "
+                f"constraints must be expressed through margins"
+            )
+
+    model = initial.copy() if initial is not None else MaxEntModel(schema)
+    for cell in constraints.cells:
+        model.cell_factors.setdefault(cell.key, 1.0)
+    for names, target in constraints.subset_margins.items():
+        if names not in model.table_factors:
+            model.table_factors[names] = np.ones(target.shape)
+
+    tensor = model.unnormalized() * model.a0
+    total = tensor.sum()
+    if total <= 0:
+        raise ConstraintError("initial model has zero total mass")
+    model.a0 /= total
+    tensor = tensor / total
+
+    cell_slicers = {
+        cell.key: _slicer(schema, cell.attributes, cell.values)
+        for cell in constraints.cells
+    }
+
+    history: list[float] = []
+    trace: list[dict[str, float]] = []
+    converged = False
+    sweeps = 0
+    violation = _max_violation(tensor, constraints, cell_slicers, schema)
+    for sweeps in range(1, max_sweeps + 1):
+        tensor = _margin_sweep(tensor, constraints, model, schema)
+        tensor = _subset_margin_sweep(tensor, constraints, model, schema)
+        tensor = _cell_sweep(tensor, constraints, model, cell_slicers)
+        violation = _max_violation(tensor, constraints, cell_slicers, schema)
+        history.append(violation)
+        if record_trace:
+            trace.append(model.a_values())
+        if violation < tol:
+            converged = True
+            break
+
+    if not converged and require_convergence:
+        raise ConvergenceError(
+            f"IPF did not converge in {max_sweeps} sweeps "
+            f"(max violation {violation:.3g}, tol {tol:.3g})"
+        )
+    model.normalize()
+    return FitResult(
+        model=model,
+        converged=converged,
+        sweeps=sweeps,
+        max_violation=violation,
+        history=history,
+        trace=trace,
+    )
+
+
+def _slicer(schema, names, values) -> tuple:
+    slicer: list[slice | int] = [slice(None)] * len(schema)
+    for name, value in zip(names, values):
+        slicer[schema.axis(name)] = value
+    return tuple(slicer)
+
+
+def _margin_sweep(tensor, constraints, model, schema) -> np.ndarray:
+    for axis, attribute in enumerate(schema):
+        target = constraints.margin(attribute.name)
+        other_axes = tuple(a for a in range(len(schema)) if a != axis)
+        current = tensor.sum(axis=other_axes)
+        ratio = np.ones_like(current)
+        positive = current > 0
+        ratio[positive] = target[positive] / current[positive]
+        infeasible = (~positive) & (target > 0)
+        if infeasible.any():
+            value = int(np.flatnonzero(infeasible)[0])
+            raise ConstraintError(
+                f"margin target P({attribute.name}={value}) > 0 but the "
+                f"model assigns it zero mass (structural conflict)"
+            )
+        ratio[~positive] = 0.0
+        shape = [1] * len(schema)
+        shape[axis] = attribute.cardinality
+        tensor = tensor * ratio.reshape(shape)
+        model.margin_factors[attribute.name] *= ratio
+    return tensor
+
+
+def _subset_margin_sweep(tensor, constraints, model, schema) -> np.ndarray:
+    for names, target in constraints.subset_margins.items():
+        axes = schema.axes(names)
+        other_axes = tuple(a for a in range(len(schema)) if a not in axes)
+        current = tensor.sum(axis=other_axes)
+        ratio = np.ones_like(current)
+        positive = current > 0
+        ratio[positive] = target[positive] / current[positive]
+        infeasible = (~positive) & (target > 0)
+        if infeasible.any():
+            raise ConstraintError(
+                f"subset margin for {names} puts mass on a cell the model "
+                f"assigns zero (structural conflict)"
+            )
+        ratio[~positive] = 0.0
+        shape = [1] * len(schema)
+        for axis in axes:
+            shape[axis] = schema.attributes[axis].cardinality
+        tensor = tensor * ratio.reshape(shape)
+        model.table_factors[names] = model.table_factors[names] * ratio
+    return tensor
+
+
+def _cell_sweep(tensor, constraints, model, cell_slicers) -> np.ndarray:
+    for cell in constraints.cells:
+        slicer = cell_slicers[cell.key]
+        mass = float(tensor[slicer].sum())
+        target = cell.probability
+        total = float(tensor.sum())
+        share = mass / total
+        if target == 0.0:
+            if share > 0.0:
+                tensor = tensor.copy()
+                tensor[slicer] = 0.0
+                model.cell_factors[cell.key] = 0.0
+                rescale = 1.0 / (1.0 - share)
+                tensor *= rescale
+                model.a0 *= rescale
+            continue
+        if share <= 0.0:
+            raise ConstraintError(
+                f"cell target {cell.key} = {target} > 0 but the model "
+                f"assigns it zero mass (structural conflict)"
+            )
+        ratio_in = target / share
+        ratio_out = (1.0 - target) / (1.0 - share)
+        tensor = tensor * ratio_out
+        tensor[slicer] *= ratio_in / ratio_out
+        model.cell_factors[cell.key] *= ratio_in / ratio_out
+        model.a0 *= ratio_out
+    return tensor
+
+
+def _max_violation(tensor, constraints, cell_slicers, schema) -> float:
+    total = float(tensor.sum())
+    worst = abs(total - 1.0)
+    for axis, attribute in enumerate(schema):
+        target = constraints.margin(attribute.name)
+        other_axes = tuple(a for a in range(len(schema)) if a != axis)
+        current = tensor.sum(axis=other_axes) / total
+        worst = max(worst, float(np.abs(current - target).max()))
+    for names, target in constraints.subset_margins.items():
+        axes = schema.axes(names)
+        other_axes = tuple(a for a in range(len(schema)) if a not in axes)
+        current = tensor.sum(axis=other_axes) / total
+        worst = max(worst, float(np.abs(current - target).max()))
+    for cell in constraints.cells:
+        share = float(tensor[cell_slicers[cell.key]].sum()) / total
+        worst = max(worst, abs(share - cell.probability))
+    return worst

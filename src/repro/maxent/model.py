@@ -1,0 +1,259 @@
+"""The factored maximum-entropy joint model (Eq 12).
+
+The paper derives, via Lagrange multipliers on the entropy (Eqs 7-13), that
+the maxent joint subject to marginal constraints has product form::
+
+    p_ijk... = a0 * a_i^A * a_j^B * a_k^C * ... * a_ij^AB * ...
+
+where one ``a`` factor exists per constraint: a vector factor per
+first-order margin and a *scalar* factor per constrained higher-order cell
+(insignificant cells keep ``a = 1``, Eq 116).
+
+:class:`MaxEntModel` stores exactly these factors.  While the joint state
+space is small (every experiment in the paper) probabilities are computed by
+materializing the dense tensor; :mod:`repro.maxent.elimination` provides the
+factored Appendix-B evaluation for wide schemas.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.exceptions import ConstraintError, QueryError
+from repro.maxent.constraints import CellKey
+
+
+class MaxEntModel:
+    """A joint distribution in the paper's ``a0 * prod(a)`` product form.
+
+    Parameters
+    ----------
+    schema:
+        Attribute schema fixing the tensor layout.
+    margin_factors:
+        Per-attribute factor vectors ``a_i^A``; missing attributes default
+        to all-ones.
+    cell_factors:
+        Scalar factor per constrained marginal cell, keyed by
+        ``(subset names, value indices)``.
+    table_factors:
+        Full factor *tables* over attribute subsets (one entry per
+        constrained whole marginal — the Cheeseman/log-linear
+        parameterization used by the baselines).  Keyed by canonical
+        subset names; arrays laid out over the subset's axes.
+    a0:
+        Global normalization factor (Eq 13's ``e^-w0``).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        margin_factors: Mapping[str, np.ndarray] | None = None,
+        cell_factors: Mapping[CellKey, float] | None = None,
+        a0: float = 1.0,
+        table_factors: Mapping[tuple[str, ...], np.ndarray] | None = None,
+    ):
+        self.schema = schema
+        self.margin_factors: dict[str, np.ndarray] = {}
+        for attribute in schema:
+            if margin_factors and attribute.name in margin_factors:
+                vector = np.asarray(margin_factors[attribute.name], dtype=float)
+                if vector.shape != (attribute.cardinality,):
+                    raise ConstraintError(
+                        f"margin factor for {attribute.name!r} has shape "
+                        f"{vector.shape}, expected ({attribute.cardinality},)"
+                    )
+                if (vector < 0).any():
+                    raise ConstraintError(
+                        f"margin factor for {attribute.name!r} has negative "
+                        f"entries"
+                    )
+                self.margin_factors[attribute.name] = vector.copy()
+            else:
+                self.margin_factors[attribute.name] = np.ones(
+                    attribute.cardinality
+                )
+        self.cell_factors: dict[CellKey, float] = {}
+        if cell_factors:
+            for key, value in cell_factors.items():
+                if value < 0:
+                    raise ConstraintError(
+                        f"cell factor for {key} is negative: {value}"
+                    )
+                self.cell_factors[key] = float(value)
+        self.table_factors: dict[tuple[str, ...], np.ndarray] = {}
+        if table_factors:
+            for names, array in table_factors.items():
+                expected = tuple(
+                    schema.attribute(n).cardinality for n in names
+                )
+                array = np.asarray(array, dtype=float)
+                if array.shape != expected:
+                    raise ConstraintError(
+                        f"table factor for {names} has shape {array.shape}, "
+                        f"expected {expected}"
+                    )
+                if (array < 0).any():
+                    raise ConstraintError(
+                        f"table factor for {names} has negative entries"
+                    )
+                self.table_factors[tuple(names)] = array.copy()
+        self.a0 = float(a0)
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def independent(
+        cls, schema: Schema, margins: Mapping[str, Sequence[float]]
+    ) -> "MaxEntModel":
+        """The independence model: factors equal to first-order probabilities.
+
+        This is the paper's Eq 60/61 observation: with only first-order
+        constraints the maxent solution sets ``a_i = p_i`` (and ``a0 = 1``),
+        so ``p_ijk = p_i p_j p_k``.
+        """
+        factors = {
+            name: np.asarray(margins[name], dtype=float)
+            for name in schema.names
+        }
+        return cls(schema, factors, {}, a0=1.0)
+
+    @classmethod
+    def uniform(cls, schema: Schema) -> "MaxEntModel":
+        """The uninformed model: every joint cell equally likely."""
+        return cls(schema, None, {}, a0=1.0 / schema.num_cells)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def unnormalized(self) -> np.ndarray:
+        """Dense tensor of ``prod(a)`` *without* the ``a0`` factor."""
+        tensor = np.ones(self.schema.shape)
+        for axis, attribute in enumerate(self.schema):
+            shape = [1] * len(self.schema)
+            shape[axis] = attribute.cardinality
+            tensor = tensor * self.margin_factors[attribute.name].reshape(shape)
+        for (names, values), factor in self.cell_factors.items():
+            slicer: list[slice | int] = [slice(None)] * len(self.schema)
+            for name, value in zip(names, values):
+                slicer[self.schema.axis(name)] = value
+            tensor[tuple(slicer)] *= factor
+        for names, array in self.table_factors.items():
+            shape = [1] * len(self.schema)
+            for name in names:
+                axis = self.schema.axis(name)
+                shape[axis] = self.schema.attributes[axis].cardinality
+            # The subset's axes are in schema order, so a reshape aligns.
+            tensor = tensor * array.reshape(shape)
+        return tensor
+
+    def joint(self) -> np.ndarray:
+        """Dense normalized joint probability tensor ``p_ijk...``.
+
+        The stored ``a0`` is used when it normalizes exactly (as after a
+        converged fit); otherwise the tensor is renormalized defensively so
+        the result is always a probability distribution.
+        """
+        tensor = self.unnormalized() * self.a0
+        total = tensor.sum()
+        if total <= 0:
+            raise ConstraintError("model has zero total mass")
+        if not np.isclose(total, 1.0, atol=1e-9):
+            tensor = tensor / total
+        return tensor
+
+    def normalize(self) -> None:
+        """Recompute ``a0`` so the joint sums to exactly 1."""
+        total = self.unnormalized().sum()
+        if total <= 0:
+            raise ConstraintError("model has zero total mass")
+        self.a0 = 1.0 / total
+
+    def marginal(self, names: Sequence[str]) -> np.ndarray:
+        """Marginal probability array over ``names`` (schema order)."""
+        ordered = self.schema.canonical_subset(names)
+        keep = set(self.schema.axes(ordered))
+        drop = tuple(ax for ax in range(len(self.schema)) if ax not in keep)
+        joint = self.joint()
+        return joint.sum(axis=drop) if drop else joint
+
+    def probability(self, assignment: Mapping[str, str | int]) -> float:
+        """Probability of a (possibly partial) labelled assignment."""
+        if not assignment:
+            return 1.0
+        indices = self.schema.indices_of(assignment)
+        names = self.schema.canonical_subset(list(indices))
+        sub = self.marginal(names)
+        return float(sub[tuple(indices[n] for n in names)])
+
+    def conditional(
+        self,
+        target: Mapping[str, str | int],
+        given: Mapping[str, str | int],
+    ) -> float:
+        """``P(target | given)`` as a ratio of joints (paper's Eq in §1).
+
+        Raises :class:`QueryError` if the evidence has zero probability or
+        target and evidence assign conflicting values to an attribute.
+        """
+        overlap = set(target) & set(given)
+        for name in overlap:
+            attribute = self.schema.attribute(name)
+            if attribute.index_of(target[name]) != attribute.index_of(given[name]):
+                raise QueryError(
+                    f"target and evidence conflict on attribute {name!r}"
+                )
+        evidence_probability = self.probability(given)
+        if evidence_probability <= 0:
+            raise QueryError(f"evidence {dict(given)} has zero probability")
+        joint_probability = self.probability({**given, **target})
+        return joint_probability / evidence_probability
+
+    def expected_count(
+        self, n: int, names: Sequence[str], values: Sequence[int]
+    ) -> float:
+        """Predicted mean count ``N * p`` of a marginal cell (Eq 33)."""
+        ordered = self.schema.canonical_subset(names)
+        order = {name: i for i, name in enumerate(names)}
+        index = tuple(values[order[name]] for name in ordered)
+        return n * float(self.marginal(ordered)[index])
+
+    # -- introspection ------------------------------------------------------------
+
+    def copy(self) -> "MaxEntModel":
+        return MaxEntModel(
+            self.schema,
+            {k: v.copy() for k, v in self.margin_factors.items()},
+            dict(self.cell_factors),
+            self.a0,
+            {k: v.copy() for k, v in self.table_factors.items()},
+        )
+
+    def a_values(self) -> dict[str, float]:
+        """Flat named view of all ``a`` factors (for Table-2 style traces).
+
+        Keys look like ``a^SMOKING_1`` (1-based value numbers, matching the
+        paper) and ``a^SMOKING,FH_1,2`` for cell factors, plus ``a0``.
+        """
+        values: dict[str, float] = {"a0": self.a0}
+        for name, vector in self.margin_factors.items():
+            for index, factor in enumerate(vector):
+                values[f"a^{name}_{index + 1}"] = float(factor)
+        for (names, cell), factor in self.cell_factors.items():
+            joined = ",".join(names)
+            digits = ",".join(str(v + 1) for v in cell)
+            values[f"a^{joined}_{digits}"] = float(factor)
+        for names, array in self.table_factors.items():
+            joined = ",".join(names)
+            for index in np.ndindex(array.shape):
+                digits = ",".join(str(v + 1) for v in index)
+                values[f"a^{joined}_{digits}"] = float(array[index])
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"MaxEntModel({self.schema!r}, cells={len(self.cell_factors)}, "
+            f"a0={self.a0:.6g})"
+        )

@@ -1,0 +1,29 @@
+"""Significance testing: MML criterion (the paper's) and classical tests."""
+
+from repro.significance.binomial import (
+    binomial_mean,
+    binomial_sd,
+    log_binomial_pmf,
+    standard_score,
+)
+from repro.significance.mml import (
+    MMLPriors,
+    evaluate_cell,
+    feasible_range,
+    most_significant,
+    scan_order,
+)
+from repro.significance.result import CellTest
+
+__all__ = [
+    "CellTest",
+    "MMLPriors",
+    "binomial_mean",
+    "binomial_sd",
+    "evaluate_cell",
+    "feasible_range",
+    "log_binomial_pmf",
+    "most_significant",
+    "scan_order",
+    "standard_score",
+]

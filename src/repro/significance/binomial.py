@@ -1,0 +1,68 @@
+"""Binomial statistics for observed cell counts (Eqs 32-34).
+
+The probability of observing ``N_ijk`` occurrences of a cell whose model
+probability is ``p`` among ``N`` samples is binomial (Eq 32); its mean
+``Np`` (Eq 33) and standard deviation ``sqrt(Np(1-p))`` (Eq 34) feed the
+"number of sd's" column of Table 1, and the log-pmf is the data term of the
+H1 message length (Eq 46).
+
+Log-probabilities are computed exactly with ``lgamma`` — no normal
+approximation — because the MML comparison happens deep in the binomial
+tail where the approximation error is largest.
+"""
+
+from __future__ import annotations
+
+from math import lgamma, log, sqrt
+
+from repro.exceptions import DataError
+
+
+def log_binomial_coefficient(n: int, k: int) -> float:
+    """``ln C(n, k)`` computed stably via lgamma."""
+    if not 0 <= k <= n:
+        raise DataError(f"need 0 <= k <= n, got n={n}, k={k}")
+    return lgamma(n + 1) - lgamma(k + 1) - lgamma(n - k + 1)
+
+
+def log_binomial_pmf(k: int, n: int, p: float) -> float:
+    """``ln P(K = k)`` for ``K ~ Binomial(n, p)`` (log of Eq 32).
+
+    Handles the degenerate edges ``p = 0`` and ``p = 1`` exactly
+    (probability 1 on the forced outcome, −inf elsewhere).
+    """
+    if n < 0:
+        raise DataError(f"n must be non-negative, got {n}")
+    if not 0 <= k <= n:
+        raise DataError(f"need 0 <= k <= n, got n={n}, k={k}")
+    if not 0.0 <= p <= 1.0:
+        raise DataError(f"p must be in [0, 1], got {p}")
+    if p == 0.0:
+        return 0.0 if k == 0 else float("-inf")
+    if p == 1.0:
+        return 0.0 if k == n else float("-inf")
+    return (
+        log_binomial_coefficient(n, k)
+        + k * log(p)
+        + (n - k) * log(1.0 - p)
+    )
+
+
+def binomial_mean(n: int, p: float) -> float:
+    """Predicted mean count ``m = Np`` (Eq 33)."""
+    return n * p
+
+
+def binomial_sd(n: int, p: float) -> float:
+    """Predicted standard deviation ``sd = sqrt(Np(1-p))`` (Eq 34)."""
+    if not 0.0 <= p <= 1.0:
+        raise DataError(f"p must be in [0, 1], got {p}")
+    return sqrt(n * p * (1.0 - p))
+
+
+def standard_score(k: int, n: int, p: float) -> float:
+    """Number of standard deviations of ``k`` from the mean (Table 1 col 5)."""
+    sd = binomial_sd(n, p)
+    if sd == 0.0:
+        return 0.0 if k == binomial_mean(n, p) else float("inf")
+    return (k - binomial_mean(n, p)) / sd

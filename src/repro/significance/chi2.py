@@ -1,0 +1,86 @@
+"""Classical significance tests: the baseline criterion the paper replaces.
+
+The paper's MML test competes with the textbook approach of flagging cells
+by standardized residuals or whole marginals by Pearson chi-square / G
+statistics.  These are implemented here both as comparison baselines
+(:mod:`repro.baselines.chi2_selector`) and as sanity cross-checks in the
+test suite — a cell the MML test finds wildly significant should also carry
+an extreme z-score.
+"""
+
+from __future__ import annotations
+
+from math import erfc, sqrt
+
+import numpy as np
+from scipy import stats
+
+from repro.data.contingency import ContingencyTable
+from repro.exceptions import DataError
+from repro.maxent.model import MaxEntModel
+from repro.significance.binomial import standard_score
+
+
+def cell_z_test(observed: int, total: int, probability: float) -> tuple[float, float]:
+    """Two-sided z test of one cell count against a model probability.
+
+    Returns ``(z, p_value)`` using the normal approximation to the
+    binomial.  This is the per-cell analogue of Table 1's "#sd" column.
+    """
+    z = standard_score(observed, total, probability)
+    if z == float("inf"):
+        return z, 0.0
+    p_value = erfc(abs(z) / sqrt(2.0))
+    return z, p_value
+
+
+def marginal_chi2(
+    table: ContingencyTable, model: MaxEntModel, names: tuple[str, ...]
+) -> tuple[float, int, float]:
+    """Pearson chi-square of a marginal against the model's prediction.
+
+    Returns ``(statistic, degrees of freedom, p_value)``.  Degrees of
+    freedom are ``cells - 1`` (the marginal totals are fixed to N by
+    normalization only; the model constraints are not subtracted — this is
+    the plain goodness-of-fit comparison a classical analyst would run).
+    """
+    observed = table.marginal(names).astype(float)
+    expected = model.marginal(names) * table.total
+    return _goodness_of_fit(observed, expected, statistic="pearson")
+
+
+def marginal_g2(
+    table: ContingencyTable, model: MaxEntModel, names: tuple[str, ...]
+) -> tuple[float, int, float]:
+    """Likelihood-ratio G-squared of a marginal against the model."""
+    observed = table.marginal(names).astype(float)
+    expected = model.marginal(names) * table.total
+    return _goodness_of_fit(observed, expected, statistic="g")
+
+
+def _goodness_of_fit(
+    observed: np.ndarray, expected: np.ndarray, statistic: str
+) -> tuple[float, int, float]:
+    observed = observed.ravel()
+    expected = expected.ravel()
+    if observed.shape != expected.shape:
+        raise DataError("observed and expected have different shapes")
+    if (expected < 0).any():
+        raise DataError("expected counts must be non-negative")
+    mask = expected > 0
+    if (observed[~mask] > 0).any():
+        return float("inf"), int(observed.size - 1), 0.0
+    if statistic == "pearson":
+        value = float(
+            ((observed[mask] - expected[mask]) ** 2 / expected[mask]).sum()
+        )
+    elif statistic == "g":
+        positive = mask & (observed > 0)
+        value = float(
+            2.0 * (observed[positive] * np.log(observed[positive] / expected[positive])).sum()
+        )
+    else:
+        raise DataError(f"unknown statistic {statistic!r}")
+    dof = int(observed.size - 1)
+    p_value = float(stats.chi2.sf(value, dof)) if dof > 0 else 1.0
+    return value, dof, p_value

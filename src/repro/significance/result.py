@@ -1,0 +1,76 @@
+"""Result records produced by significance tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp
+
+from repro.data.schema import Schema
+
+
+@dataclass(frozen=True)
+class CellTest:
+    """Significance evaluation of one marginal cell (one Table-1 row).
+
+    Attributes
+    ----------
+    attributes / values:
+        The tested marginal cell, canonical order / value indices.
+    observed:
+        Observed count ``N`` of the cell.
+    predicted_probability:
+        Cell probability under the current model (Table 1 col 1).
+    mean / sd:
+        Binomial mean and standard deviation (Table 1 cols 3-4, Eqs 33-34).
+    num_sd:
+        ``(observed - mean) / sd`` (Table 1 col 5).
+    m1 / m2:
+        Message lengths of hypotheses H1 / H2 (Eqs 45-46).
+    determined:
+        True when the cell value is forced by marginals and previously
+        significant cells (Eq 41's ELSE branch, ``p(D|H2) = 1``).
+    feasible_range:
+        The ``0..range`` span available to the cell under H2 (Eq 41).
+    """
+
+    attributes: tuple[str, ...]
+    values: tuple[int, ...]
+    observed: int
+    predicted_probability: float
+    mean: float
+    sd: float
+    num_sd: float
+    m1: float
+    m2: float
+    determined: bool
+    feasible_range: int
+
+    @property
+    def delta(self) -> float:
+        """``m2 - m1``; negative means the cell is significant (Eq 47)."""
+        return self.m2 - self.m1
+
+    @property
+    def significant(self) -> bool:
+        """Eq 47: the observed value is statistically significant."""
+        return self.delta < 0.0
+
+    @property
+    def likelihood_ratio(self) -> float:
+        """``p(H1|D) / p(H2|D) = exp(m2 - m1)`` (Table 1 last column)."""
+        try:
+            return exp(self.delta)
+        except OverflowError:
+            return float("inf")
+
+    def describe(self, schema: Schema) -> str:
+        """Readable one-liner, e.g. ``N^(A,C)[smoker,no]=750 (m2-m1=-9.9)``."""
+        labels = ",".join(
+            schema.attribute(name).value_at(value)
+            for name, value in zip(self.attributes, self.values)
+        )
+        names = ",".join(self.attributes)
+        return (
+            f"N^({names})[{labels}]={self.observed} "
+            f"(m2-m1={self.delta:+.2f}{', significant' if self.significant else ''})"
+        )

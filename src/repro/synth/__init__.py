@@ -1,0 +1,29 @@
+"""Synthetic populations with planted, scoreable structure."""
+
+from repro.synth.generators import (
+    PlantedCell,
+    PlantedPopulation,
+    build_planted_population,
+    independent_population,
+    random_planted_population,
+    recovery_score,
+)
+from repro.synth.surveys import (
+    medical_survey_population,
+    smoking_cancer_population,
+    smoking_cancer_schema,
+    telemetry_population,
+)
+
+__all__ = [
+    "PlantedCell",
+    "PlantedPopulation",
+    "build_planted_population",
+    "independent_population",
+    "medical_survey_population",
+    "random_planted_population",
+    "recovery_score",
+    "smoking_cancer_population",
+    "smoking_cancer_schema",
+    "telemetry_population",
+]

@@ -1,0 +1,125 @@
+"""Named synthetic survey worlds used by the examples and ablations.
+
+Three populations, each standing in for a data source the paper motivates:
+
+- :func:`smoking_cancer_population` — the paper's own questionnaire world
+  (§"Problem Definition"), calibrated so that samples of N≈3428 look like
+  Figure 1: smoking raises cancer probability, family history raises it
+  independently, and passive smoking (non-smoker married to a smoker) sits
+  in between.
+- :func:`medical_survey_population` — a richer five-attribute health survey
+  (age band, exercise, diet, blood pressure, heart disease) with planted
+  two- and three-way interactions.
+- :func:`telemetry_population` — a spacecraft-telemetry world (subsystem
+  temperature, vibration, radiation environment, anomaly flag) standing in
+  for NASA's "masses of unevaluated data from its space explorations".
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import Attribute, Schema
+from repro.synth.generators import (
+    PlantedCell,
+    PlantedPopulation,
+    build_planted_population,
+)
+
+
+def smoking_cancer_population() -> PlantedPopulation:
+    """The paper's smoking/cancer questionnaire world.
+
+    Margins match Figure 2 (``p_A ≈ (.38, .33, .29)``, ``p_B ≈ (.13, .87)``,
+    ``p_C ≈ (.52, .48)``); planted cells push smoker∧cancer and family
+    history∧cancer excesses like the data in Figure 1 exhibit.
+    """
+    schema = smoking_cancer_schema()
+    margins = {
+        "SMOKING": [0.376, 0.331, 0.293],
+        "CANCER": [0.126, 0.874],
+        "FAMILY_HISTORY": [0.519, 0.481],
+    }
+    planted = [
+        PlantedCell(("SMOKING", "CANCER"), (0, 0), 1.9),
+        PlantedCell(("CANCER", "FAMILY_HISTORY"), (0, 0), 1.5),
+    ]
+    import numpy as np
+
+    margin_arrays = {k: np.asarray(v) for k, v in margins.items()}
+    return build_planted_population(schema, margin_arrays, planted)
+
+
+def smoking_cancer_schema() -> Schema:
+    """The questionnaire schema of the paper's §"Problem Definition"."""
+    return Schema(
+        [
+            Attribute(
+                "SMOKING",
+                ("smoker", "non-smoker", "non-smoker married to smoker"),
+            ),
+            Attribute("CANCER", ("yes", "no")),
+            Attribute("FAMILY_HISTORY", ("yes", "no")),
+        ]
+    )
+
+
+def medical_survey_population() -> PlantedPopulation:
+    """A five-attribute health survey with known interactions.
+
+    Planted structure: sedentary∧high blood pressure excess, older∧heart
+    disease excess, and a three-way poor diet∧sedentary∧heart disease
+    excess — so order-3 discovery has something real to find.
+    """
+    import numpy as np
+
+    schema = Schema(
+        [
+            Attribute("AGE", ("under40", "40to60", "over60")),
+            Attribute("EXERCISE", ("active", "sedentary")),
+            Attribute("DIET", ("balanced", "poor")),
+            Attribute("BLOOD_PRESSURE", ("normal", "high")),
+            Attribute("HEART_DISEASE", ("no", "yes")),
+        ]
+    )
+    margins = {
+        "AGE": np.array([0.35, 0.40, 0.25]),
+        "EXERCISE": np.array([0.55, 0.45]),
+        "DIET": np.array([0.60, 0.40]),
+        "BLOOD_PRESSURE": np.array([0.70, 0.30]),
+        "HEART_DISEASE": np.array([0.85, 0.15]),
+    }
+    planted = [
+        PlantedCell(("EXERCISE", "BLOOD_PRESSURE"), (1, 1), 2.2),
+        PlantedCell(("AGE", "HEART_DISEASE"), (2, 1), 2.5),
+        PlantedCell(("EXERCISE", "DIET", "HEART_DISEASE"), (1, 1, 1), 2.0),
+    ]
+    return build_planted_population(schema, margins, planted)
+
+
+def telemetry_population() -> PlantedPopulation:
+    """A spacecraft-telemetry world standing in for NASA archive data.
+
+    Planted structure: anomalies co-occur with high vibration, and the
+    high-radiation∧hot∧anomaly triple carries an extra excess — mimicking
+    an environment-driven failure mode an analyst would want surfaced.
+    """
+    import numpy as np
+
+    schema = Schema(
+        [
+            Attribute("TEMPERATURE", ("nominal", "hot", "cold")),
+            Attribute("VIBRATION", ("low", "high")),
+            Attribute("RADIATION", ("background", "elevated")),
+            Attribute("ANOMALY", ("none", "detected")),
+        ]
+    )
+    margins = {
+        "TEMPERATURE": np.array([0.70, 0.18, 0.12]),
+        "VIBRATION": np.array([0.80, 0.20]),
+        "RADIATION": np.array([0.75, 0.25]),
+        "ANOMALY": np.array([0.90, 0.10]),
+    }
+    planted = [
+        PlantedCell(("VIBRATION", "ANOMALY"), (1, 1), 3.0),
+        PlantedCell(("TEMPERATURE", "RADIATION", "ANOMALY"), (1, 1, 1), 2.5),
+    ]
+    return build_planted_population(schema, margins, planted)

@@ -1,0 +1,104 @@
+"""Tests for the independence / empirical / naive Bayes baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.empirical import empirical_joint, empirical_model
+from repro.baselines.independence import independence_model
+from repro.baselines.naive_bayes import NaiveBayesClassifier
+from repro.data.contingency import ContingencyTable
+from repro.exceptions import DataError, QueryError
+from repro.maxent.entropy import entropy
+
+
+class TestIndependence:
+    def test_margins_match_data(self, table):
+        model = independence_model(table)
+        for name in table.schema.names:
+            assert np.allclose(
+                model.marginal([name]),
+                table.first_order_probabilities(name),
+            )
+
+    def test_no_association(self, table):
+        model = independence_model(table)
+        assert model.conditional(
+            {"CANCER": "yes"}, {"SMOKING": "smoker"}
+        ) == pytest.approx(model.probability({"CANCER": "yes"}))
+
+
+class TestEmpirical:
+    def test_joint_equals_frequencies(self, table):
+        joint = empirical_joint(table)
+        assert np.allclose(joint, table.counts / table.total)
+
+    def test_smoothing_fills_zeros(self, schema):
+        counts = np.zeros(schema.shape, dtype=np.int64)
+        counts[0, 0, 0] = 10
+        table = ContingencyTable(schema, counts)
+        smoothed = empirical_joint(table, smoothing=1.0)
+        assert (smoothed > 0).all()
+        assert smoothed.sum() == pytest.approx(1.0)
+
+    def test_model_wrapper_matches_joint(self, table):
+        model = empirical_model(table)
+        assert np.allclose(model.joint(), empirical_joint(table), atol=1e-12)
+
+    def test_model_queries(self, table):
+        model = empirical_model(table)
+        assert model.conditional(
+            {"CANCER": "yes"}, {"SMOKING": "smoker"}
+        ) == pytest.approx(240 / 1290)
+
+    def test_negative_smoothing_rejected(self, table):
+        with pytest.raises(DataError):
+            empirical_joint(table, smoothing=-1.0)
+
+    def test_entropy_ordering(self, table):
+        """Independence >= discovered maxent >= empirical: each model down
+        the chain satisfies strictly more data constraints."""
+        from repro.discovery.engine import discover
+
+        h_independent = entropy(independence_model(table).joint())
+        h_discovered = entropy(discover(table).model.joint())
+        h_empirical = entropy(empirical_joint(table))
+        assert h_independent >= h_discovered - 1e-9
+        assert h_discovered >= h_empirical - 1e-9
+
+
+class TestNaiveBayes:
+    def test_posterior_sums_to_one(self, table):
+        classifier = NaiveBayesClassifier(table, "CANCER")
+        posterior = classifier.class_distribution({"SMOKING": "smoker"})
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_single_feature_matches_direct_conditional(self, table):
+        """With one feature, NB posterior equals the empirical conditional
+        (up to smoothing)."""
+        classifier = NaiveBayesClassifier(table, "CANCER", smoothing=0.0)
+        posterior = classifier.class_distribution({"SMOKING": "smoker"})
+        assert posterior["yes"] == pytest.approx(240 / 1290, abs=1e-9)
+
+    def test_predict_majority(self, table):
+        classifier = NaiveBayesClassifier(table, "CANCER")
+        assert classifier.predict({"SMOKING": "smoker"}) == "no"
+
+    def test_evidence_shifts_posterior(self, table):
+        classifier = NaiveBayesClassifier(table, "CANCER")
+        base = classifier.class_distribution({})["yes"]
+        smoker = classifier.class_distribution({"SMOKING": "smoker"})["yes"]
+        assert smoker > base
+
+    def test_class_in_evidence_rejected(self, table):
+        classifier = NaiveBayesClassifier(table, "CANCER")
+        with pytest.raises(QueryError, match="class attribute"):
+            classifier.class_distribution({"CANCER": "yes"})
+
+    def test_unknown_feature_rejected(self, table):
+        classifier = NaiveBayesClassifier(table, "CANCER")
+        with pytest.raises(Exception):
+            classifier.class_distribution({"WEIGHT": "high"})
+
+    def test_negative_smoothing_rejected(self, table):
+        with pytest.raises(DataError):
+            NaiveBayesClassifier(table, "CANCER", smoothing=-0.5)

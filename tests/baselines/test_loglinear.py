@@ -1,0 +1,108 @@
+"""Tests for the hierarchical log-linear forward-selection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.loglinear import (
+    LogLinearConfig,
+    discover_loglinear,
+)
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import discover
+from repro.exceptions import DataError
+from repro.synth.generators import (
+    independent_population,
+    random_planted_population,
+)
+
+
+class TestPaperData:
+    def test_adopts_associated_pairs(self, table):
+        result = discover_loglinear(table, LogLinearConfig(max_order=2))
+        assert ("SMOKING", "CANCER") in result.found_subsets
+        assert ("SMOKING", "FAMILY_HISTORY") in result.found_subsets
+
+    def test_margins_fitted_exactly(self, table):
+        result = discover_loglinear(table, LogLinearConfig(max_order=2))
+        for subset in result.found_subsets:
+            fitted = result.model.marginal(list(subset))
+            observed = table.marginal(list(subset)) / table.total
+            assert np.allclose(fitted, observed, atol=1e-8)
+
+    def test_steps_record_statistics(self, table):
+        result = discover_loglinear(table, LogLinearConfig(max_order=2))
+        for step in result.steps:
+            assert step.g2 > 0
+            assert step.dof > 0
+            assert step.p_value < 0.01
+
+    def test_parameter_count_exceeds_cell_based(self, table):
+        """The trade-off the paper's design makes: whole-margin terms
+        spend (I-1)(J-1) parameters per pair, cells spend 1 each."""
+        loglinear = discover_loglinear(table, LogLinearConfig(max_order=2))
+        cell_based = discover(table, DiscoveryConfig(max_order=2))
+        loglinear_parameters = loglinear.num_interaction_parameters()
+        # Cell-based discovery spends exactly one parameter per adoption.
+        assert len(cell_based.found) == len(cell_based.model.cell_factors)
+        # Whole-margin terms spend (I-1)(J-1) each: the 3x2 smoking pairs
+        # cost 2 apiece, so overall strictly more than 1 per subset.
+        assert loglinear_parameters > len(loglinear.found_subsets)
+        smoking_pairs = [
+            s for s in loglinear.found_subsets if "SMOKING" in s
+        ]
+        assert smoking_pairs  # the smoking interactions are adopted
+        assert loglinear_parameters >= 2 * len(smoking_pairs)
+
+    def test_quiet_on_independent_data(self, rng):
+        population = independent_population(rng, num_attributes=3)
+        table = population.sample_table(5000, rng)
+        result = discover_loglinear(table, LogLinearConfig(max_order=2))
+        assert len(result.found_subsets) <= 1
+
+    def test_recovers_planted_pair(self, rng):
+        population = random_planted_population(
+            rng, num_attributes=3, num_planted=1, strength=4.0
+        )
+        table = population.sample_table(20000, rng)
+        result = discover_loglinear(table, LogLinearConfig(max_order=2))
+        assert population.planted[0].attributes in result.found_subsets
+
+
+class TestConfig:
+    def test_alpha_validated(self):
+        with pytest.raises(DataError):
+            LogLinearConfig(alpha=1.0)
+
+    def test_max_terms(self, table):
+        result = discover_loglinear(
+            table, LogLinearConfig(max_order=2, max_terms=1)
+        )
+        assert len(result.found_subsets) == 1
+
+    def test_empty_table_rejected(self, schema):
+        from repro.data.contingency import ContingencyTable
+
+        with pytest.raises(DataError, match="empty"):
+            discover_loglinear(ContingencyTable.zeros(schema))
+
+    def test_stricter_alpha_fewer_terms(self, table):
+        loose = discover_loglinear(
+            table, LogLinearConfig(alpha=0.05, max_order=2)
+        )
+        strict = discover_loglinear(
+            table, LogLinearConfig(alpha=1e-12, max_order=2)
+        )
+        assert len(strict.found_subsets) <= len(loose.found_subsets)
+
+
+class TestAgainstCellBased:
+    def test_both_capture_the_association(self, table):
+        """Both model families reproduce the smoker-cancer conditional."""
+        loglinear = discover_loglinear(table, LogLinearConfig(max_order=2))
+        cell_based = discover(table, DiscoveryConfig(max_order=2))
+        empirical = 240 / 1290
+        for model in (loglinear.model, cell_based.model):
+            fitted = model.conditional(
+                {"CANCER": "yes"}, {"SMOKING": "smoker"}
+            )
+            assert fitted == pytest.approx(empirical, abs=0.01)

@@ -1,0 +1,136 @@
+"""Tests for the chi-square and BIC constraint selectors."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bic_selector import (
+    BICSelectorConfig,
+    discover_bic,
+    log_likelihood,
+)
+from repro.baselines.chi2_selector import Chi2SelectorConfig, discover_chi2
+from repro.baselines.independence import independence_model
+from repro.exceptions import DataError
+from repro.synth.generators import (
+    independent_population,
+    random_planted_population,
+)
+
+
+class TestChi2Selector:
+    def test_finds_paper_association(self, table):
+        result = discover_chi2(table, Chi2SelectorConfig(max_order=2))
+        found = {(c.attributes, c.values) for c in result.found}
+        assert (("SMOKING", "CANCER"), (0, 0)) in found
+
+    def test_constraints_satisfied(self, table):
+        result = discover_chi2(table, Chi2SelectorConfig(max_order=2))
+        for cell in result.found:
+            marginal = result.model.marginal(list(cell.attributes))
+            assert marginal[cell.values] == pytest.approx(
+                cell.probability, abs=1e-7
+            )
+
+    def test_alpha_validation(self):
+        with pytest.raises(DataError):
+            Chi2SelectorConfig(alpha=0.0)
+
+    def test_stricter_alpha_fewer_constraints(self, table):
+        loose = discover_chi2(
+            table, Chi2SelectorConfig(alpha=0.05, max_order=2)
+        )
+        strict = discover_chi2(
+            table, Chi2SelectorConfig(alpha=1e-12, max_order=2)
+        )
+        assert len(strict.found) <= len(loose.found)
+
+    def test_max_constraints(self, table):
+        result = discover_chi2(
+            table, Chi2SelectorConfig(max_order=2, max_constraints=1)
+        )
+        assert len(result.found) == 1
+
+    def test_quiet_on_independent_data(self, rng):
+        population = independent_population(rng, num_attributes=3)
+        table = population.sample_table(5000, rng)
+        result = discover_chi2(
+            table, Chi2SelectorConfig(max_order=2, bonferroni=True)
+        )
+        assert len(result.found) <= 1
+
+
+class TestBICSelector:
+    def test_improves_likelihood(self, table):
+        result = discover_bic(table, BICSelectorConfig(max_order=2))
+        base = log_likelihood(table, independence_model(table))
+        fitted = log_likelihood(table, result.model)
+        assert fitted > base
+
+    def test_steps_have_positive_delta(self, table):
+        result = discover_bic(table, BICSelectorConfig(max_order=2))
+        assert len(result.steps) > 0
+        assert all(step.delta_bic > 0 for step in result.steps)
+
+    def test_finds_paper_association(self, table):
+        result = discover_bic(table, BICSelectorConfig(max_order=2))
+        found_subsets = {c.attributes for c in result.found}
+        assert ("SMOKING", "CANCER") in found_subsets or (
+            "SMOKING",
+            "FAMILY_HISTORY",
+        ) in found_subsets
+
+    def test_heavier_penalty_fewer_constraints(self, table):
+        light = discover_bic(
+            table, BICSelectorConfig(max_order=2, penalty_multiplier=1.0)
+        )
+        heavy = discover_bic(
+            table, BICSelectorConfig(max_order=2, penalty_multiplier=20.0)
+        )
+        assert len(heavy.found) <= len(light.found)
+
+    def test_penalty_validation(self):
+        with pytest.raises(DataError):
+            BICSelectorConfig(penalty_multiplier=0.0)
+
+    def test_max_constraints(self, table):
+        result = discover_bic(
+            table, BICSelectorConfig(max_order=2, max_constraints=1)
+        )
+        assert len(result.found) <= 1
+
+    def test_recovers_planted_pair(self, rng):
+        """BIC detects the planted attribute pair (it may express the
+        association through a sibling cell of the same marginal)."""
+        population = random_planted_population(
+            rng, num_attributes=3, num_planted=1, strength=4.0
+        )
+        table = population.sample_table(20000, rng)
+        result = discover_bic(table, BICSelectorConfig(max_order=2))
+        assert population.planted[0].attributes in {
+            c.attributes for c in result.found
+        }
+
+
+class TestSelectorAgreement:
+    def test_all_three_find_strong_planted_signal(self, rng):
+        """On a strong planted effect with plenty of data, MML, chi2 and
+        BIC all detect the planted attribute pair.  (A selector may adopt
+        the complementary cell of a binary attribute — the same
+        association expressed differently — so agreement is asserted at
+        the subset level.)"""
+        from repro.discovery.config import DiscoveryConfig
+        from repro.discovery.engine import discover
+
+        population = random_planted_population(
+            np.random.default_rng(3), num_attributes=3, num_planted=1,
+            strength=5.0,
+        )
+        table = population.sample_table(30000, rng)
+        planted_subset = population.planted[0].attributes
+
+        mml = discover(table, DiscoveryConfig(max_order=2))
+        chi2 = discover_chi2(table, Chi2SelectorConfig(max_order=2))
+        bic = discover_bic(table, BICSelectorConfig(max_order=2))
+        assert planted_subset in {c.attributes for c in mml.found}
+        assert planted_subset in {c.attributes for c in chi2.found}
+        assert planted_subset in {c.attributes for c in bic.found}

@@ -1,0 +1,108 @@
+"""Tests for the rule-based expert-system shell."""
+
+import pytest
+
+from repro.core.inference import RuleEngine
+from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+from repro.core.rules import Rule, RuleSet
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def rules():
+    return RuleSet(
+        [
+            Rule((("SMOKING", "smoker"),), ("CANCER", "yes"), 0.19, 0.38, 1.5),
+            Rule((("SMOKING", "smoker"),), ("CANCER", "no"), 0.81, 0.38, 0.93),
+            Rule(
+                (("FAMILY_HISTORY", "yes"), ("SMOKING", "smoker")),
+                ("CANCER", "yes"),
+                0.24,
+                0.16,
+                1.9,
+            ),
+            Rule((("CANCER", "yes"),), ("RISK", "high"), 0.9, 0.13, 3.0),
+        ]
+    )
+
+
+class TestConclude:
+    def test_basic_conclusion(self, rules):
+        engine = RuleEngine(rules)
+        conclusion = engine.conclude({"SMOKING": "smoker"}, "CANCER")
+        assert conclusion.value == "no"  # .81 beats .19
+        assert conclusion.probability == pytest.approx(0.81)
+
+    def test_specificity_preference(self, rules):
+        """With family history known, the two-condition rule is used for
+        the 'yes' value (its p rises from .19 to .24)."""
+        engine = RuleEngine(rules)
+        conclusion = engine.conclude(
+            {"SMOKING": "smoker", "FAMILY_HISTORY": "yes"}, "CANCER"
+        )
+        yes_rule = [
+            r
+            for r in engine.applicable(
+                {"SMOKING": "smoker", "FAMILY_HISTORY": "yes"}
+            ).about("CANCER")
+            if r.conclusion[1] == "yes"
+        ]
+        assert any(len(r.conditions) == 2 for r in yes_rule)
+        assert conclusion.value == "no"  # .81 still wins overall
+
+    def test_known_attribute_rejected(self, rules):
+        engine = RuleEngine(rules)
+        with pytest.raises(QueryError, match="already known"):
+            engine.conclude({"CANCER": "yes"}, "CANCER")
+
+    def test_no_applicable_rule(self, rules):
+        engine = RuleEngine(rules)
+        with pytest.raises(QueryError, match="no applicable rule"):
+            engine.conclude({"FAMILY_HISTORY": "no"}, "RISK")
+
+    def test_conclusion_describe(self, rules):
+        engine = RuleEngine(rules)
+        conclusion = engine.conclude({"SMOKING": "smoker"}, "CANCER")
+        assert "CANCER=no" in conclusion.describe()
+
+
+class TestForwardChain:
+    def test_chains_through_intermediate(self, rules):
+        """smoker -> cancer=no stops the chain; but a direct cancer=yes
+        fact chains to risk=high."""
+        engine = RuleEngine(rules)
+        conclusions = engine.forward_chain({"CANCER": "yes"}, threshold=0.5)
+        assert any(
+            c.attribute == "RISK" and c.value == "high" for c in conclusions
+        )
+
+    def test_threshold_blocks_weak_conclusions(self, rules):
+        engine = RuleEngine(rules)
+        conclusions = engine.forward_chain(
+            {"SMOKING": "smoker"}, threshold=0.95
+        )
+        assert conclusions == []
+
+    def test_derivation_order(self, rules):
+        engine = RuleEngine(rules)
+        conclusions = engine.forward_chain({"SMOKING": "smoker"}, threshold=0.5)
+        # cancer=no derived first; risk has no rule for cancer=no.
+        assert [c.attribute for c in conclusions] == ["CANCER"]
+
+    def test_fixed_point_terminates(self, rules):
+        engine = RuleEngine(rules)
+        # Must terminate even when nothing can fire.
+        assert engine.forward_chain({}, threshold=0.5) == []
+
+
+class TestAgainstModel:
+    def test_rule_engine_tracks_model_posteriors(self, table):
+        """Rules generated from the fitted model give the same posterior
+        the model itself reports, for matching evidence."""
+        kb = ProbabilisticKnowledgeBase.from_data(table)
+        rules = kb.rules(max_conditions=2)
+        engine = RuleEngine(rules)
+        facts = {"SMOKING": "smoker", "FAMILY_HISTORY": "yes"}
+        conclusion = engine.conclude(facts, "CANCER")
+        exact = kb.probability({"CANCER": conclusion.value}, facts)
+        assert conclusion.probability == pytest.approx(exact, abs=1e-9)

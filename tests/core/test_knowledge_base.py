@@ -1,0 +1,110 @@
+"""Tests for the public knowledge-base facade."""
+
+import pytest
+
+from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+from repro.data.dataset import Dataset
+from repro.discovery.config import DiscoveryConfig
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def kb(table):
+    return ProbabilisticKnowledgeBase.from_data(table)
+
+
+class TestConstruction:
+    def test_from_table(self, kb, table):
+        assert kb.sample_size == table.total
+        assert kb.discovery is not None
+        assert len(kb.constraints) > 0
+
+    def test_from_dataset(self, schema, table, rng):
+        dataset = Dataset.from_joint(schema, table.probabilities(), 2000, rng)
+        kb = ProbabilisticKnowledgeBase.from_data(dataset)
+        assert kb.sample_size == 2000
+
+    def test_from_bad_type(self):
+        with pytest.raises(DataError, match="expects"):
+            ProbabilisticKnowledgeBase.from_data([1, 2, 3])
+
+    def test_config_forwarded(self, table):
+        kb = ProbabilisticKnowledgeBase.from_data(
+            table, DiscoveryConfig(max_constraints=1)
+        )
+        assert len(kb.constraints) == 1
+
+
+class TestQueries:
+    def test_string_query(self, kb):
+        assert kb.query("CANCER=yes | SMOKING=smoker") == pytest.approx(
+            240 / 1290, abs=0.01
+        )
+
+    def test_dict_query(self, kb):
+        assert kb.probability(
+            {"CANCER": "yes"}, {"SMOKING": "smoker"}
+        ) == pytest.approx(240 / 1290, abs=0.01)
+
+    def test_distribution(self, kb):
+        distribution = kb.distribution("SMOKING")
+        assert sum(distribution.values()) == pytest.approx(1.0)
+        assert distribution["smoker"] == pytest.approx(1290 / 3428, abs=1e-6)
+
+
+class TestKnowledge:
+    def test_rules_threshold(self, kb):
+        rules = kb.rules(min_probability=0.7, max_conditions=1)
+        assert all(r.probability >= 0.7 for r in rules)
+        assert len(rules) > 0
+
+    def test_constrained_only_rules(self, kb):
+        rules = kb.rules(constrained_only=True)
+        assert len(rules) > 0
+
+    def test_summary(self, kb):
+        text = kb.summary()
+        assert "N=3428" in text
+        assert "significant joint probabilities" in text
+
+
+class TestSerialization:
+    def test_dict_round_trip(self, kb):
+        clone = ProbabilisticKnowledgeBase.from_dict(kb.to_dict())
+        assert clone.sample_size == kb.sample_size
+        for text in [
+            "CANCER=yes",
+            "CANCER=yes | SMOKING=smoker",
+            "CANCER=yes | SMOKING=smoker, FAMILY_HISTORY=yes",
+        ]:
+            assert clone.query(text) == pytest.approx(kb.query(text), rel=1e-9)
+
+    def test_file_round_trip(self, kb, tmp_path):
+        path = tmp_path / "kb.json"
+        kb.save(path)
+        loaded = ProbabilisticKnowledgeBase.load(path)
+        assert loaded.query("CANCER=yes | SMOKING=smoker") == pytest.approx(
+            kb.query("CANCER=yes | SMOKING=smoker"), rel=1e-9
+        )
+
+    def test_loaded_kb_reports_constraints(self, kb, tmp_path):
+        """A KB loaded without its discovery trace still lists its
+        significant joint probabilities (recomputed from factors)."""
+        path = tmp_path / "kb.json"
+        kb.save(path)
+        loaded = ProbabilisticKnowledgeBase.load(path)
+        assert loaded.discovery is None
+        original = {
+            (c.attributes, c.values): c.probability for c in kb.constraints
+        }
+        recovered = {
+            (c.attributes, c.values): c.probability
+            for c in loaded.constraints
+        }
+        assert set(recovered) == set(original)
+        for key, probability in original.items():
+            assert recovered[key] == pytest.approx(probability, abs=1e-7)
+
+    def test_malformed_dict(self):
+        with pytest.raises(DataError, match="malformed"):
+            ProbabilisticKnowledgeBase.from_dict({"schema": {}})

@@ -1,0 +1,76 @@
+"""Tests for most-probable-explanation (MPE) queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import QueryEngine
+from repro.discovery.engine import discover
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def engine(table):
+    return QueryEngine(discover(table).model)
+
+
+class TestMostProbable:
+    def test_unconditional_matches_argmax(self, engine):
+        labels, probability = engine.most_probable()
+        joint = engine.model.joint()
+        best = np.unravel_index(np.argmax(joint), joint.shape)
+        schema = engine.model.schema
+        expected = {
+            attribute.name: attribute.value_at(int(i))
+            for attribute, i in zip(schema, best)
+        }
+        assert labels == expected
+        assert probability == pytest.approx(float(joint[best]))
+
+    def test_with_evidence(self, engine):
+        labels, probability = engine.most_probable({"SMOKING": "smoker"})
+        assert labels["SMOKING"] == "smoker"
+        # Most smokers have no cancer.
+        assert labels["CANCER"] == "no"
+        assert 0.0 < probability <= 1.0
+
+    def test_probability_is_conditional(self, engine):
+        labels, probability = engine.most_probable({"SMOKING": "smoker"})
+        exact = engine.model.conditional(
+            {k: v for k, v in labels.items() if k != "SMOKING"},
+            {"SMOKING": "smoker"},
+        )
+        assert probability == pytest.approx(exact, rel=1e-9)
+
+    def test_full_evidence_returns_it(self, engine):
+        evidence = {
+            "SMOKING": "smoker",
+            "CANCER": "yes",
+            "FAMILY_HISTORY": "no",
+        }
+        labels, probability = engine.most_probable(evidence)
+        assert labels == evidence
+        assert probability == pytest.approx(1.0)
+
+    def test_zero_evidence_rejected(self, table):
+        from repro.baselines.independence import independence_model
+        from repro.maxent.model import MaxEntModel
+
+        margins = {
+            "SMOKING": np.array([1.0, 0.0, 0.0]),
+            "CANCER": np.array([0.5, 0.5]),
+            "FAMILY_HISTORY": np.array([0.5, 0.5]),
+        }
+        model = MaxEntModel.independent(table.schema, margins)
+        engine = QueryEngine(model)
+        with pytest.raises(QueryError, match="zero"):
+            engine.most_probable({"SMOKING": "non-smoker"})
+
+    def test_mpe_probability_bounds_each_marginal(self, engine):
+        """The MPE's conditional probability can't exceed any single
+        attribute's conditional share."""
+        labels, probability = engine.most_probable({"SMOKING": "smoker"})
+        for name, value in labels.items():
+            if name == "SMOKING":
+                continue
+            single = engine.probability({name: value}, {"SMOKING": "smoker"})
+            assert probability <= single + 1e-12

@@ -1,0 +1,76 @@
+"""Tests for rule export / import."""
+
+import json
+
+import pytest
+
+from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+from repro.core.rules import (
+    Rule,
+    RuleSet,
+    rules_from_json,
+    rules_to_json,
+    write_rules_csv,
+)
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def rules(table):
+    kb = ProbabilisticKnowledgeBase.from_data(table)
+    return kb.rules(max_conditions=1, min_support=0.05)
+
+
+class TestJSON:
+    def test_round_trip(self, rules):
+        data = rules_to_json(rules)
+        recovered = rules_from_json(data)
+        assert len(recovered) == len(rules)
+        original = {(r.conditions, r.conclusion): r for r in rules}
+        for rule in recovered:
+            reference = original[(rule.conditions, rule.conclusion)]
+            assert rule.probability == pytest.approx(reference.probability)
+            assert rule.support == pytest.approx(reference.support)
+            assert rule.lift == pytest.approx(reference.lift)
+
+    def test_json_serializable(self, rules):
+        text = json.dumps(rules_to_json(rules))
+        assert "probability" in text
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DataError, match="malformed"):
+            rules_from_json([{"if": {}}])
+
+    def test_multi_conclusion_rejected(self):
+        with pytest.raises(DataError, match="exactly one"):
+            rules_from_json(
+                [
+                    {
+                        "if": {"A": "x"},
+                        "then": {"B": "y", "C": "z"},
+                        "probability": 0.5,
+                        "support": 0.5,
+                        "lift": 1.0,
+                    }
+                ]
+            )
+
+
+class TestCSV:
+    def test_write_and_shape(self, rules, tmp_path):
+        path = tmp_path / "rules.csv"
+        write_rules_csv(rules, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("conditions,")
+        assert len(lines) == len(rules) + 1
+
+    def test_content(self, tmp_path):
+        rules = RuleSet(
+            [Rule((("A", "x"), ("B", "y")), ("C", "z"), 0.75, 0.2, 2.0)]
+        )
+        path = tmp_path / "rules.csv"
+        write_rules_csv(rules, path)
+        body = path.read_text()
+        assert "A=x AND B=y" in body
+        assert "C=z" in body
+        assert "0.750000" in body

@@ -1,0 +1,164 @@
+"""Tests for IF-THEN rule generation."""
+
+import pytest
+
+from repro.core.rules import Rule, RuleGenerator, RuleSet
+from repro.discovery.engine import discover
+
+
+@pytest.fixture
+def model(table):
+    return discover(table).model
+
+
+@pytest.fixture
+def generator(model):
+    return RuleGenerator(model)
+
+
+class TestRule:
+    def test_applies_to(self):
+        rule = Rule(
+            conditions=(("SMOKING", "smoker"),),
+            conclusion=("CANCER", "yes"),
+            probability=0.19,
+            support=0.38,
+            lift=1.5,
+        )
+        assert rule.applies_to({"SMOKING": "smoker", "FAMILY_HISTORY": "no"})
+        assert not rule.applies_to({"SMOKING": "non-smoker"})
+        assert not rule.applies_to({})
+
+    def test_describe_format(self):
+        rule = Rule(
+            conditions=(("A", "x"), ("B", "y")),
+            conclusion=("C", "z"),
+            probability=0.75,
+            support=0.2,
+            lift=2.0,
+        )
+        text = rule.describe()
+        assert text.startswith("IF A=x AND B=y THEN C=z")
+        assert "p=0.750" in text
+
+
+class TestRuleSet:
+    def _rules(self):
+        return RuleSet(
+            [
+                Rule((("A", "x"),), ("C", "z"), 0.9, 0.5, 2.0),
+                Rule((("B", "y"),), ("C", "z"), 0.4, 0.1, 0.8),
+                Rule((("A", "x"),), ("D", "w"), 0.7, 0.5, 1.2),
+            ]
+        )
+
+    def test_filter(self):
+        rules = self._rules()
+        assert len(rules.filter(min_probability=0.6)) == 2
+        assert len(rules.filter(min_support=0.3)) == 2
+        assert len(rules.filter(min_lift=1.5)) == 1
+
+    def test_about(self):
+        assert len(self._rules().about("C")) == 2
+
+    def test_sorted_by_lift(self):
+        rules = self._rules().sorted_by_lift()
+        assert rules[0].lift == 2.0
+        assert rules[2].lift == 0.8
+
+    def test_matching(self):
+        rules = self._rules().matching({"A": "x"})
+        assert len(rules) == 2
+
+    def test_describe_empty(self):
+        assert RuleSet().describe() == "(empty rule set)"
+
+
+class TestExhaustiveGeneration:
+    def test_rule_probability_matches_query(self, model, generator):
+        rules = generator.exhaustive(max_conditions=1)
+        rule = next(
+            r
+            for r in rules
+            if r.conditions == (("SMOKING", "smoker"),)
+            and r.conclusion == ("CANCER", "yes")
+        )
+        expected = model.conditional(
+            {"CANCER": "yes"}, {"SMOKING": "smoker"}
+        )
+        assert rule.probability == pytest.approx(expected)
+        assert rule.support == pytest.approx(
+            model.probability({"SMOKING": "smoker"})
+        )
+
+    def test_lift_definition(self, model, generator):
+        rules = generator.exhaustive(max_conditions=1)
+        rule = next(
+            r
+            for r in rules
+            if r.conditions == (("FAMILY_HISTORY", "yes"),)
+            and r.conclusion == ("CANCER", "yes")
+        )
+        prior = model.probability({"CANCER": "yes"})
+        assert rule.lift == pytest.approx(rule.probability / prior)
+
+    def test_smoking_rule_has_positive_lift(self, generator):
+        """The paper's motivating association becomes a lifted rule."""
+        rules = generator.exhaustive(max_conditions=1)
+        rule = next(
+            r
+            for r in rules
+            if r.conditions == (("SMOKING", "smoker"),)
+            and r.conclusion == ("CANCER", "yes")
+        )
+        assert rule.lift > 1.3
+
+    def test_condition_count_bound(self, generator):
+        rules = generator.exhaustive(max_conditions=2)
+        assert max(len(r.conditions) for r in rules) == 2
+        rules = generator.exhaustive(max_conditions=1)
+        assert max(len(r.conditions) for r in rules) == 1
+
+    def test_thresholds_applied(self, generator):
+        rules = generator.exhaustive(max_conditions=1, min_probability=0.8)
+        assert all(r.probability >= 0.8 for r in rules)
+
+    def test_value_distribution_complete(self, generator):
+        """For each condition, rules for all conclusion values exist and
+        their probabilities sum to 1."""
+        rules = generator.exhaustive(max_conditions=1)
+        cancer_given_smoker = [
+            r
+            for r in rules
+            if r.conditions == (("SMOKING", "smoker"),)
+            and r.conclusion[0] == "CANCER"
+        ]
+        assert len(cancer_given_smoker) == 2
+        assert sum(r.probability for r in cancer_given_smoker) == pytest.approx(
+            1.0
+        )
+
+
+class TestConstraintGeneration:
+    def test_rules_come_from_adopted_cells(self, model, generator):
+        rules = generator.from_constraints()
+        assert len(rules) > 0
+        # Every rule's attributes appear together in some adopted cell.
+        cell_subsets = [set(names) for names, _values in model.cell_factors]
+        for rule in rules:
+            involved = {name for name, _ in rule.conditions} | {
+                rule.conclusion[0]
+            }
+            assert any(involved == subset for subset in cell_subsets)
+
+    def test_probabilities_match_queries(self, model, generator):
+        for rule in generator.from_constraints():
+            expected = model.conditional(
+                dict([rule.conclusion]), rule.condition_dict()
+            )
+            assert rule.probability == pytest.approx(expected)
+
+    def test_no_duplicates(self, generator):
+        rules = generator.from_constraints()
+        keys = [(r.conditions, r.conclusion[0]) for r in rules]
+        assert len(keys) == len(set(keys))

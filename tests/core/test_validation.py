@@ -1,0 +1,140 @@
+"""Tests for holdout scoring, calibration and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.empirical import empirical_model
+from repro.baselines.independence import independence_model
+from repro.core.validation import (
+    calibration_table,
+    conditional_brier_score,
+    cross_validate,
+    holdout_log_loss,
+    perplexity,
+)
+from repro.data.contingency import ContingencyTable
+from repro.data.dataset import Dataset
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import discover
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def split(schema, table, rng):
+    dataset = Dataset.from_joint(schema, table.probabilities(), 20000, rng)
+    train, holdout = dataset.split(0.5, rng)
+    return train.to_contingency(), holdout.to_contingency()
+
+
+class TestLogLoss:
+    def test_discovered_beats_independence(self, split):
+        train, holdout = split
+        discovered = discover(train).model
+        independent = independence_model(train)
+        assert holdout_log_loss(discovered, holdout) < holdout_log_loss(
+            independent, holdout
+        )
+
+    def test_perplexity_definition(self, split):
+        train, holdout = split
+        model = independence_model(train)
+        loss = holdout_log_loss(model, holdout)
+        assert perplexity(model, holdout) == pytest.approx(np.exp(loss))
+
+    def test_zero_probability_is_infinite(self, schema, table):
+        margins = {
+            "SMOKING": np.array([1.0, 0.0, 0.0]),
+            "CANCER": np.array([0.5, 0.5]),
+            "FAMILY_HISTORY": np.array([0.5, 0.5]),
+        }
+        from repro.maxent.model import MaxEntModel
+
+        model = MaxEntModel.independent(schema, margins)
+        assert holdout_log_loss(model, table) == float("inf")
+        assert perplexity(model, table) == float("inf")
+
+    def test_empty_holdout_rejected(self, schema, table):
+        model = independence_model(table)
+        with pytest.raises(DataError, match="empty"):
+            holdout_log_loss(model, ContingencyTable.zeros(schema))
+
+    def test_training_empirical_is_lower_bound(self, table):
+        """On the training data itself, nothing beats the saturated model."""
+        saturated = empirical_model(table)
+        discovered = discover(table).model
+        assert holdout_log_loss(saturated, table) <= holdout_log_loss(
+            discovered, table
+        ) + 1e-9
+
+
+class TestBrier:
+    def test_oracle_bounds(self, split):
+        train, holdout = split
+        model = discover(train).model
+        score = conditional_brier_score(model, holdout, "CANCER")
+        # Between perfect (0) and worse-than-uniform for a binary target.
+        assert 0.0 <= score <= 0.6
+
+    def test_discovered_not_worse_than_independence(self, split):
+        train, holdout = split
+        discovered = conditional_brier_score(
+            discover(train).model, holdout, "CANCER"
+        )
+        independent = conditional_brier_score(
+            independence_model(train), holdout, "CANCER"
+        )
+        assert discovered <= independent + 1e-6
+
+    def test_empty_holdout_rejected(self, schema, table):
+        model = independence_model(table)
+        with pytest.raises(DataError, match="empty"):
+            conditional_brier_score(
+                model, ContingencyTable.zeros(schema), "CANCER"
+            )
+
+
+class TestCalibration:
+    def test_bins_cover_all_weight(self, split):
+        train, holdout = split
+        model = discover(train).model
+        bins = calibration_table(model, holdout, "CANCER", "yes", bins=5)
+        assert bins
+        assert sum(b.weight for b in bins) == pytest.approx(1.0)
+
+    def test_well_specified_model_is_calibrated(self, split):
+        """A model fitted on half the data predicts rates on the other half
+        within a few points."""
+        train, holdout = split
+        model = discover(train).model
+        bins = calibration_table(model, holdout, "CANCER", "yes", bins=4)
+        for b in bins:
+            assert abs(b.predicted_mean - b.observed_rate) < 0.06
+
+    def test_bin_count_validated(self, split):
+        train, holdout = split
+        model = discover(train).model
+        with pytest.raises(DataError, match="bins"):
+            calibration_table(model, holdout, "CANCER", "yes", bins=1)
+
+
+class TestCrossValidation:
+    def test_folds_and_stability(self, schema, table, rng):
+        dataset = Dataset.from_joint(schema, table.probabilities(), 15000, rng)
+        result = cross_validate(
+            dataset, k=3, config=DiscoveryConfig(max_order=2), rng=rng
+        )
+        assert len(result.folds) == 3
+        assert result.mean_log_loss > 0
+        assert result.mean_constraints > 0
+        # Folds of the same population find mostly the same constraints.
+        assert result.constraint_stability() > 0.5
+
+    def test_k_validated(self, schema, table, rng):
+        dataset = Dataset.from_joint(schema, table.probabilities(), 100, rng)
+        with pytest.raises(DataError, match="folds"):
+            cross_validate(dataset, k=1)
+
+    def test_small_dataset_rejected(self, schema, table, rng):
+        dataset = Dataset.from_joint(schema, table.probabilities(), 3, rng)
+        with pytest.raises(DataError, match="folds"):
+            cross_validate(dataset, k=5)

@@ -1,0 +1,93 @@
+"""Tests for Appendix A conversions (Figures 5 and 6)."""
+
+import numpy as np
+import pytest
+
+from repro.data.conversion import (
+    dataset_to_indicator_matrix,
+    dataset_to_tuple_matrix,
+    indicator_matrix_to_dataset,
+    tuple_column_labels,
+    tuple_matrix_to_contingency,
+    tuple_matrix_to_dataset,
+)
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def paper_samples(schema, table, rng):
+    """A dataset drawn from the paper's empirical distribution."""
+    return Dataset.from_joint(schema, table.probabilities(), 400, rng)
+
+
+class TestIndicatorForm:
+    """Figure 5: one-hot blocks per attribute."""
+
+    def test_shape(self, paper_samples):
+        matrix = dataset_to_indicator_matrix(paper_samples)
+        assert matrix.shape == (400, 3 + 2 + 2)
+
+    def test_one_mark_per_attribute(self, paper_samples):
+        matrix = dataset_to_indicator_matrix(paper_samples)
+        assert (matrix[:, 0:3].sum(axis=1) == 1).all()
+        assert (matrix[:, 3:5].sum(axis=1) == 1).all()
+        assert (matrix[:, 5:7].sum(axis=1) == 1).all()
+
+    def test_round_trip(self, schema, paper_samples):
+        matrix = dataset_to_indicator_matrix(paper_samples)
+        recovered = indicator_matrix_to_dataset(schema, matrix)
+        assert np.array_equal(recovered.rows, paper_samples.rows)
+
+    def test_rejects_multiple_marks(self, schema):
+        matrix = np.zeros((1, 7), dtype=np.int64)
+        matrix[0, 0] = 1
+        matrix[0, 1] = 1  # two SMOKING values marked
+        matrix[0, 3] = 1
+        matrix[0, 5] = 1
+        with pytest.raises(DataError, match="exactly one"):
+            indicator_matrix_to_dataset(schema, matrix)
+
+    def test_rejects_wrong_width(self, schema):
+        with pytest.raises(DataError, match="columns"):
+            indicator_matrix_to_dataset(schema, np.zeros((1, 5)))
+
+
+class TestTupleForm:
+    """Figure 6: one column per joint cell; sums are the contingency cells."""
+
+    def test_shape(self, paper_samples):
+        matrix = dataset_to_tuple_matrix(paper_samples)
+        assert matrix.shape == (400, 12)
+
+    def test_one_mark_per_sample(self, paper_samples):
+        matrix = dataset_to_tuple_matrix(paper_samples)
+        assert (matrix.sum(axis=1) == 1).all()
+
+    def test_column_sums_are_contingency_cells(self, schema, paper_samples):
+        # The paper: "the summations of the triples are the values of the
+        # cells in Figure 1".
+        matrix = dataset_to_tuple_matrix(paper_samples)
+        table = tuple_matrix_to_contingency(schema, matrix)
+        assert table == paper_samples.to_contingency()
+
+    def test_round_trip(self, schema, paper_samples):
+        matrix = dataset_to_tuple_matrix(paper_samples)
+        recovered = tuple_matrix_to_dataset(schema, matrix)
+        assert np.array_equal(recovered.rows, paper_samples.rows)
+
+    def test_rejects_zero_marks(self, schema):
+        with pytest.raises(DataError, match="exactly one"):
+            tuple_matrix_to_dataset(schema, np.zeros((1, 12), dtype=np.int64))
+
+    def test_rejects_wrong_width(self, schema):
+        with pytest.raises(DataError, match="columns"):
+            tuple_matrix_to_contingency(schema, np.zeros((1, 10)))
+
+    def test_column_labels_match_paper_notation(self, schema):
+        labels = tuple_column_labels(schema)
+        assert len(labels) == 12
+        assert labels[0] == "SCF=111"
+        # Row-major: last index (FAMILY_HISTORY) varies fastest.
+        assert labels[1] == "SCF=112"
+        assert labels[-1] == "SCF=322"

@@ -1,0 +1,117 @@
+"""Tests for raw sample datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def small_schema():
+    return Schema([Attribute("A", ("x", "y")), Attribute("B", ("u", "v", "w"))])
+
+
+class TestConstruction:
+    def test_from_samples_labels(self, small_schema):
+        dataset = Dataset.from_samples(
+            small_schema, [("x", "u"), ("y", "w")]
+        )
+        assert len(dataset) == 2
+        assert dataset[0] == (0, 0)
+        assert dataset[1] == (1, 2)
+
+    def test_from_samples_indices(self, small_schema):
+        dataset = Dataset.from_samples(small_schema, [(1, 2)])
+        assert dataset[0] == (1, 2)
+
+    def test_from_samples_empty(self, small_schema):
+        dataset = Dataset.from_samples(small_schema, [])
+        assert len(dataset) == 0
+        assert dataset.to_contingency().total == 0
+
+    def test_from_records(self, small_schema):
+        dataset = Dataset.from_records(
+            small_schema, [{"A": "y", "B": "u"}]
+        )
+        assert dataset.record(0) == {"A": "y", "B": "u"}
+
+    def test_wrong_width(self, small_schema):
+        with pytest.raises(DataError, match="fields"):
+            Dataset.from_samples(small_schema, [("x",)])
+
+    def test_out_of_range_rows(self, small_schema):
+        with pytest.raises(DataError, match="out-of-range"):
+            Dataset(small_schema, np.array([[0, 9]]))
+
+    def test_rows_read_only(self, small_schema):
+        dataset = Dataset.from_samples(small_schema, [("x", "u")])
+        with pytest.raises(ValueError):
+            dataset.rows[0, 0] = 1
+
+
+class TestSampling:
+    def test_from_joint_distribution(self, small_schema, rng):
+        joint = np.array([[0.5, 0.0, 0.0], [0.0, 0.0, 0.5]])
+        dataset = Dataset.from_joint(small_schema, joint, 500, rng)
+        table = dataset.to_contingency()
+        assert table.total == 500
+        # Only the two cells with mass are populated.
+        assert table.count({"A": "x", "B": "u"}) + table.count(
+            {"A": "y", "B": "w"}
+        ) == 500
+
+    def test_from_joint_frequency_match(self, small_schema, rng):
+        joint = np.array([[0.7, 0.1, 0.0], [0.05, 0.05, 0.1]])
+        dataset = Dataset.from_joint(small_schema, joint, 20000, rng)
+        observed = dataset.to_contingency().probabilities()
+        assert np.abs(observed - joint).max() < 0.02
+
+    def test_from_joint_validates_shape(self, small_schema, rng):
+        with pytest.raises(DataError, match="shape"):
+            Dataset.from_joint(small_schema, np.ones((2, 2)) / 4, 10, rng)
+
+    def test_from_joint_rejects_negative(self, small_schema, rng):
+        joint = np.full(small_schema.shape, 0.3)
+        joint[0, 0] = -0.1
+        with pytest.raises(DataError, match="non-negative"):
+            Dataset.from_joint(small_schema, joint, 10, rng)
+
+    def test_from_joint_rejects_zero_mass(self, small_schema, rng):
+        with pytest.raises(DataError, match="zero"):
+            Dataset.from_joint(
+                small_schema, np.zeros(small_schema.shape), 10, rng
+            )
+
+
+class TestViews:
+    def test_records_iteration(self, small_schema):
+        dataset = Dataset.from_samples(
+            small_schema, [("x", "v"), ("y", "u")]
+        )
+        records = list(dataset.records())
+        assert records == [{"A": "x", "B": "v"}, {"A": "y", "B": "u"}]
+
+    def test_to_contingency_counts(self, small_schema):
+        dataset = Dataset.from_samples(
+            small_schema, [("x", "u")] * 3 + [("y", "v")] * 2
+        )
+        table = dataset.to_contingency()
+        assert table.count({"A": "x", "B": "u"}) == 3
+        assert table.count({"A": "y", "B": "v"}) == 2
+
+    def test_split(self, small_schema, rng):
+        dataset = Dataset.from_samples(small_schema, [("x", "u")] * 100)
+        left, right = dataset.split(0.3, rng)
+        assert len(left) == 30
+        assert len(right) == 70
+
+    def test_split_validates_fraction(self, small_schema, rng):
+        dataset = Dataset.from_samples(small_schema, [("x", "u")] * 10)
+        with pytest.raises(DataError):
+            dataset.split(1.5, rng)
+
+    def test_iteration(self, small_schema):
+        dataset = Dataset.from_samples(small_schema, [("x", "w")])
+        assert list(dataset) == [(0, 2)]

@@ -1,0 +1,85 @@
+"""Tests for continuous-column discretization."""
+
+import numpy as np
+import pytest
+
+from repro.data.discretize import Discretizer, equal_width_edges, quantile_edges
+from repro.exceptions import DataError
+
+
+class TestEdges:
+    def test_equal_width(self):
+        edges = equal_width_edges([0.0, 10.0], bins=4)
+        assert edges.tolist() == [2.5, 5.0, 7.5]
+
+    def test_equal_width_constant_column(self):
+        with pytest.raises(DataError, match="constant"):
+            equal_width_edges([3.0, 3.0, 3.0], bins=2)
+
+    def test_quantile(self):
+        values = np.arange(100, dtype=float)
+        edges = quantile_edges(values, bins=4)
+        assert len(edges) == 3
+        assert edges[0] < edges[1] < edges[2]
+
+    def test_quantile_too_discrete(self):
+        with pytest.raises(DataError, match="distinct"):
+            quantile_edges([1.0] * 90 + [2.0] * 10, bins=4)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError, match="NaN"):
+            equal_width_edges([1.0, float("nan")], bins=2)
+
+    def test_rejects_single_bin(self):
+        with pytest.raises(DataError, match="bins"):
+            equal_width_edges([1.0, 2.0], bins=1)
+
+
+class TestDiscretizer:
+    def test_fit_width(self):
+        discretizer = Discretizer.fit("TEMP", [0.0, 10.0], bins=2)
+        assert discretizer.num_bins == 2
+        assert discretizer.transform([1.0, 9.0]).tolist() == [0, 1]
+
+    def test_fit_quantile(self):
+        values = np.linspace(0, 1, 101)
+        discretizer = Discretizer.fit("X", values, bins=4, method="quantile")
+        counts = np.bincount(discretizer.transform(values), minlength=4)
+        assert counts.min() >= 20  # roughly balanced
+
+    def test_fit_unknown_method(self):
+        with pytest.raises(DataError, match="unknown binning"):
+            Discretizer.fit("X", [0.0, 1.0], bins=2, method="magic")
+
+    def test_out_of_range_clips_to_extreme_bins(self):
+        discretizer = Discretizer("X", [0.0, 1.0])
+        assert discretizer.transform([-100.0]).tolist() == [0]
+        assert discretizer.transform([+100.0]).tolist() == [2]
+
+    def test_boundary_goes_right(self):
+        discretizer = Discretizer("X", [1.0])
+        # searchsorted side="right": v == edge lands in the upper bin.
+        assert discretizer.transform([1.0]).tolist() == [1]
+
+    def test_attribute_labels(self):
+        attribute = Discretizer("TEMP", [2.5, 5.0]).attribute()
+        assert attribute.name == "TEMP"
+        assert attribute.values == ("<2.5", "[2.5,5)", ">=5")
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(DataError, match="increasing"):
+            Discretizer("X", [2.0, 1.0])
+
+    def test_rejects_nan_transform(self):
+        discretizer = Discretizer("X", [0.5])
+        with pytest.raises(DataError, match="NaN"):
+            discretizer.transform([float("nan")])
+
+    def test_pipeline_into_schema(self):
+        """Discretized columns become usable categorical attributes."""
+        temperatures = np.array([1.0, 2.0, 8.0, 9.0])
+        discretizer = Discretizer.fit("TEMP", temperatures, bins=2)
+        attribute = discretizer.attribute()
+        indices = discretizer.transform(temperatures)
+        assert all(0 <= i < attribute.cardinality for i in indices)
+        assert indices.tolist() == [0, 0, 1, 1]

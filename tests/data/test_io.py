@@ -1,0 +1,87 @@
+"""Tests for CSV and JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.io import (
+    read_dataset_csv,
+    read_table_json,
+    schema_from_dict,
+    schema_to_dict,
+    table_from_dict,
+    table_to_dict,
+    write_dataset_csv,
+    write_table_json,
+)
+from repro.exceptions import DataError
+
+
+class TestCSV:
+    def test_round_trip_with_schema(self, schema, table, rng, tmp_path):
+        dataset = Dataset.from_joint(schema, table.probabilities(), 200, rng)
+        path = tmp_path / "survey.csv"
+        write_dataset_csv(dataset, path)
+        recovered = read_dataset_csv(path, schema)
+        assert np.array_equal(recovered.rows, dataset.rows)
+
+    def test_round_trip_inferred_schema(self, schema, table, rng, tmp_path):
+        dataset = Dataset.from_joint(schema, table.probabilities(), 500, rng)
+        path = tmp_path / "survey.csv"
+        write_dataset_csv(dataset, path)
+        recovered = read_dataset_csv(path)
+        # Inferred schema sorts values, so compare contingency content by
+        # labelled counts instead of raw indices.
+        original = dataset.to_contingency()
+        inferred = recovered.to_contingency()
+        assignment = {
+            "SMOKING": "smoker",
+            "CANCER": "yes",
+            "FAMILY_HISTORY": "no",
+        }
+        assert inferred.count(assignment) == original.count(assignment)
+
+    def test_header_mismatch(self, schema, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("X,Y,Z\n1,2,3\n")
+        with pytest.raises(DataError, match="header"):
+            read_dataset_csv(path, schema)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("A,B\nx,u\nx\n")
+        with pytest.raises(DataError, match="fields"):
+            read_dataset_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError, match="empty"):
+            read_dataset_csv(path)
+
+    def test_constant_column_cannot_infer(self, tmp_path):
+        path = tmp_path / "constant.csv"
+        path.write_text("A,B\nx,u\nx,v\n")
+        with pytest.raises(DataError, match="distinct"):
+            read_dataset_csv(path)
+
+
+class TestJSON:
+    def test_schema_round_trip(self, schema):
+        assert schema_from_dict(schema_to_dict(schema)) == schema
+
+    def test_schema_malformed(self):
+        with pytest.raises(DataError, match="malformed"):
+            schema_from_dict({"nope": []})
+
+    def test_table_round_trip(self, table):
+        assert table_from_dict(table_to_dict(table)) == table
+
+    def test_table_file_round_trip(self, table, tmp_path):
+        path = tmp_path / "table.json"
+        write_table_json(table, path)
+        assert read_table_json(path) == table
+
+    def test_table_malformed(self):
+        with pytest.raises(DataError, match="malformed"):
+            table_from_dict({"schema": {"attributes": []}})

@@ -1,0 +1,154 @@
+"""Tests for EM completion of missing data."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.missing import (
+    MISSING,
+    EMResult,
+    IncompleteDataset,
+    complete_table,
+    em_joint,
+    round_preserving_total,
+)
+from repro.exceptions import DataError
+
+
+@pytest.fixture
+def complete_rows(schema, table, rng):
+    dataset = Dataset.from_joint(schema, table.probabilities(), 4000, rng)
+    return dataset.rows.copy()
+
+
+def knock_out(rows, fraction, rng):
+    """Make fields missing completely at random."""
+    rows = rows.copy()
+    mask = rng.random(rows.shape) < fraction
+    rows[mask] = MISSING
+    return rows
+
+
+class TestIncompleteDataset:
+    def test_from_samples_tokens(self, schema):
+        data = IncompleteDataset.from_samples(
+            schema,
+            [
+                ("smoker", None, "yes"),
+                ("?", "no", ""),
+                ("non-smoker", "yes", "no"),
+            ],
+        )
+        assert len(data) == 3
+        assert data.rows[0, 1] == MISSING
+        assert data.rows[1, 0] == MISSING
+        assert data.rows[1, 2] == MISSING
+        assert data.missing_fraction == pytest.approx(3 / 9)
+
+    def test_out_of_range_rejected(self, schema):
+        with pytest.raises(DataError, match="out-of-range"):
+            IncompleteDataset(schema, np.array([[0, 9, 0]]))
+
+    def test_complete_rows_subset(self, schema):
+        data = IncompleteDataset(
+            schema, np.array([[0, 0, 0], [MISSING, 0, 1]])
+        )
+        assert data.complete_rows().shape == (1, 3)
+
+    def test_patterns_grouping(self, schema):
+        data = IncompleteDataset(
+            schema,
+            np.array([[0, 0, 0], [0, 0, 0], [MISSING, 1, 0]]),
+        )
+        patterns = data.patterns()
+        assert patterns[(0, 0, 0)] == 2
+        assert patterns[(MISSING, 1, 0)] == 1
+
+
+class TestEM:
+    def test_no_missing_recovers_frequencies(self, schema, complete_rows):
+        data = IncompleteDataset(schema, complete_rows)
+        result = em_joint(data)
+        empirical = (
+            Dataset(schema, complete_rows).to_contingency().probabilities()
+        )
+        assert np.allclose(result.joint, empirical, atol=1e-9)
+        assert result.iterations <= 3
+
+    def test_mcar_recovers_joint(self, schema, complete_rows, rng):
+        truth = Dataset(schema, complete_rows).to_contingency().probabilities()
+        rows = knock_out(complete_rows, 0.25, rng)
+        data = IncompleteDataset(schema, rows)
+        result = em_joint(data)
+        assert np.abs(result.joint - truth).max() < 0.03
+
+    def test_log_likelihood_non_decreasing(self, schema, complete_rows, rng):
+        rows = knock_out(complete_rows, 0.3, rng)
+        result = em_joint(IncompleteDataset(schema, rows))
+        history = np.array(result.log_likelihood)
+        assert (np.diff(history) >= -1e-9).all()
+
+    def test_all_missing_row_is_harmless(self, schema):
+        """A fully blank record adds no information but must not break EM."""
+        rows = np.array(
+            [[0, 0, 0]] * 5 + [[MISSING, MISSING, MISSING]], dtype=np.int64
+        )
+        result = em_joint(IncompleteDataset(schema, rows), tol=1e-10)
+        assert result.joint.sum() == pytest.approx(1.0)
+        assert result.joint[0, 0, 0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_dataset_rejected(self, schema):
+        with pytest.raises(DataError, match="empty"):
+            em_joint(IncompleteDataset(schema, np.empty((0, 3), dtype=np.int64)))
+
+    def test_initial_shape_validated(self, schema, complete_rows):
+        data = IncompleteDataset(schema, complete_rows)
+        with pytest.raises(DataError, match="shape"):
+            em_joint(data, initial=np.ones((2, 2)))
+
+    def test_result_types(self, schema, complete_rows):
+        result = em_joint(IncompleteDataset(schema, complete_rows))
+        assert isinstance(result, EMResult)
+        assert result.expected_counts.sum() == pytest.approx(
+            len(complete_rows)
+        )
+
+
+class TestRounding:
+    def test_preserves_total(self, rng):
+        counts = rng.random((4, 5)) * 10
+        rounded = round_preserving_total(counts)
+        assert rounded.sum() == round(counts.sum())
+        assert (rounded >= 0).all()
+
+    def test_integers_unchanged(self):
+        counts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(
+            round_preserving_total(counts), counts.astype(np.int64)
+        )
+
+    def test_largest_remainder_priority(self):
+        counts = np.array([0.9, 0.6, 0.5])  # total 2.0
+        rounded = round_preserving_total(counts)
+        assert rounded.tolist() == [1, 1, 0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError):
+            round_preserving_total(np.array([-1.0, 2.0]))
+
+
+class TestEndToEnd:
+    def test_complete_table_feeds_discovery(self, schema, complete_rows, rng):
+        """The headline workflow: incomplete survey → EM → discovery."""
+        from repro.discovery.config import DiscoveryConfig
+        from repro.discovery.engine import discover
+
+        rows = knock_out(complete_rows, 0.2, rng)
+        completed, result = complete_table(IncompleteDataset(schema, rows))
+        assert completed.total == len(rows)
+        assert result.converged
+        discovery = discover(completed, DiscoveryConfig(max_order=2))
+        # The dominant smoker-cancer association survives 20% missingness.
+        assert ("SMOKING", "CANCER") in {
+            c.attributes for c in discovery.found
+        }

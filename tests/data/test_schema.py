@@ -1,0 +1,129 @@
+"""Tests for attribute schemas."""
+
+import pytest
+
+from repro.data.schema import OTHER_LABEL, Attribute, Schema
+from repro.exceptions import SchemaError
+
+
+class TestAttribute:
+    def test_basic_properties(self):
+        attribute = Attribute("CANCER", ("yes", "no"))
+        assert attribute.cardinality == 2
+        assert attribute.values == ("yes", "no")
+
+    def test_accepts_list_values(self):
+        attribute = Attribute("X", ["a", "b", "c"])
+        assert attribute.values == ("a", "b", "c")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Attribute("", ("a", "b"))
+
+    def test_rejects_single_value(self):
+        with pytest.raises(SchemaError):
+            Attribute("X", ("only",))
+
+    def test_rejects_duplicate_values(self):
+        with pytest.raises(SchemaError):
+            Attribute("X", ("a", "a"))
+
+    def test_index_of_label(self):
+        attribute = Attribute("X", ("a", "b", "c"))
+        assert attribute.index_of("b") == 1
+
+    def test_index_of_integer_passthrough(self):
+        attribute = Attribute("X", ("a", "b", "c"))
+        assert attribute.index_of(2) == 2
+
+    def test_index_of_unknown_label(self):
+        attribute = Attribute("X", ("a", "b"))
+        with pytest.raises(SchemaError, match="unknown value"):
+            attribute.index_of("z")
+
+    def test_index_of_out_of_range(self):
+        attribute = Attribute("X", ("a", "b"))
+        with pytest.raises(SchemaError, match="out of range"):
+            attribute.index_of(5)
+
+    def test_index_of_rejects_bool(self):
+        attribute = Attribute("X", ("a", "b"))
+        with pytest.raises(SchemaError):
+            attribute.index_of(True)
+
+    def test_value_at(self):
+        attribute = Attribute("X", ("a", "b"))
+        assert attribute.value_at(0) == "a"
+        with pytest.raises(SchemaError):
+            attribute.value_at(2)
+
+    def test_completed_adds_other(self):
+        attribute = Attribute("X", ("a", "b"))
+        completed = attribute.completed()
+        assert completed.values == ("a", "b", OTHER_LABEL)
+
+    def test_completed_idempotent(self):
+        attribute = Attribute("X", ("a", OTHER_LABEL))
+        assert attribute.completed() is attribute
+
+
+class TestSchema:
+    def test_shape_follows_order(self, schema):
+        assert schema.shape == (3, 2, 2)
+        assert schema.num_cells == 12
+
+    def test_names(self, schema):
+        assert schema.names == ("SMOKING", "CANCER", "FAMILY_HISTORY")
+
+    def test_axis_lookup(self, schema):
+        assert schema.axis("CANCER") == 1
+        assert schema.axes(["FAMILY_HISTORY", "SMOKING"]) == (2, 0)
+
+    def test_unknown_attribute(self, schema):
+        with pytest.raises(SchemaError, match="no attribute"):
+            schema.axis("WEIGHT")
+        with pytest.raises(SchemaError):
+            schema.attribute("WEIGHT")
+
+    def test_rejects_duplicate_names(self):
+        attribute = Attribute("X", ("a", "b"))
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([attribute, attribute])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_canonical_subset_sorts_by_axis(self, schema):
+        assert schema.canonical_subset(["FAMILY_HISTORY", "SMOKING"]) == (
+            "SMOKING",
+            "FAMILY_HISTORY",
+        )
+
+    def test_canonical_subset_rejects_duplicates(self, schema):
+        with pytest.raises(SchemaError, match="duplicate"):
+            schema.canonical_subset(["SMOKING", "SMOKING"])
+
+    def test_indices_round_trip(self, schema):
+        labels = {"SMOKING": "smoker", "CANCER": "no"}
+        indices = schema.indices_of(labels)
+        assert indices == {"SMOKING": 0, "CANCER": 1}
+        assert schema.labels_of(indices) == labels
+
+    def test_subschema(self, schema):
+        sub = schema.subschema(["FAMILY_HISTORY", "SMOKING"])
+        assert sub.names == ("SMOKING", "FAMILY_HISTORY")
+        assert sub.shape == (3, 2)
+
+    def test_equality_and_hash(self, schema):
+        other = Schema(list(schema.attributes))
+        assert schema == other
+        assert hash(schema) == hash(other)
+
+    def test_completed(self):
+        schema = Schema([Attribute("X", ("a", "b"))])
+        assert schema.completed().attribute("X").cardinality == 3
+
+    def test_iteration(self, schema):
+        assert [a.name for a in schema] == list(schema.names)
+        assert len(schema) == 3

@@ -1,0 +1,96 @@
+"""Tests for incremental table accumulation."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.streaming import TableBuilder
+from repro.exceptions import DataError
+
+
+class TestTableBuilder:
+    def test_add_sample(self, schema):
+        builder = TableBuilder(schema)
+        builder.add_sample(("smoker", "yes", "no"))
+        builder.add_sample((0, 0, 1))
+        table = builder.snapshot()
+        assert table.total == 2
+        assert table.count(
+            {"SMOKING": "smoker", "CANCER": "yes", "FAMILY_HISTORY": "no"}
+        ) == 2
+
+    def test_add_record(self, schema):
+        builder = TableBuilder(schema)
+        builder.add_record(
+            {"SMOKING": "smoker", "CANCER": "no", "FAMILY_HISTORY": "yes"}
+        )
+        assert builder.total == 1
+
+    def test_add_samples_batch(self, schema):
+        builder = TableBuilder(schema)
+        builder.add_samples(
+            [("smoker", "yes", "no"), ("non-smoker", "no", "no")]
+        )
+        assert builder.total == 2
+        assert builder.batches == 1
+
+    def test_add_dataset_and_table(self, schema, table, rng):
+        dataset = Dataset.from_joint(schema, table.probabilities(), 100, rng)
+        builder = TableBuilder(schema)
+        builder.add_dataset(dataset)
+        builder.add_table(table)
+        assert builder.total == 100 + table.total
+
+    def test_wrong_schema_rejected(self, schema, rng):
+        from repro.data.schema import Attribute, Schema
+
+        other = Schema([Attribute("X", ("a", "b"))])
+        builder = TableBuilder(other)
+        with pytest.raises(DataError, match="schema"):
+            builder.add_table(
+                __import__("repro.data.contingency", fromlist=["ContingencyTable"])
+                .ContingencyTable.zeros(schema)
+            )
+
+    def test_wrong_sample_width(self, schema):
+        builder = TableBuilder(schema)
+        with pytest.raises(DataError, match="fields"):
+            builder.add_sample(("smoker", "yes"))
+
+    def test_snapshot_is_independent(self, schema):
+        builder = TableBuilder(schema)
+        builder.add_sample((0, 0, 0))
+        snapshot = builder.snapshot()
+        builder.add_sample((0, 0, 0))
+        assert snapshot.total == 1
+        assert builder.total == 2
+
+    def test_reset(self, schema):
+        builder = TableBuilder(schema)
+        builder.add_sample((0, 0, 0))
+        builder.reset()
+        assert builder.total == 0
+        assert builder.batches == 0
+
+    def test_streaming_matches_batch(self, schema, table, rng):
+        """Accumulating in chunks equals tallying all at once."""
+        dataset = Dataset.from_joint(schema, table.probabilities(), 300, rng)
+        builder = TableBuilder(schema)
+        rows = list(dataset)
+        for start in range(0, 300, 50):
+            builder.add_samples(rows[start : start + 50])
+        assert builder.snapshot() == dataset.to_contingency()
+
+    def test_interim_discovery(self, schema, table, rng):
+        """Snapshots feed discovery mid-stream without disturbing the
+        builder."""
+        from repro.discovery.config import DiscoveryConfig
+        from repro.discovery.engine import discover
+
+        dataset = Dataset.from_joint(schema, table.probabilities(), 5000, rng)
+        builder = TableBuilder(schema)
+        builder.add_dataset(dataset)
+        result = discover(builder.snapshot(), DiscoveryConfig(max_order=2))
+        assert result.table.total == 5000
+        builder.add_sample((0, 0, 0))
+        assert builder.total == 5001

@@ -1,0 +1,74 @@
+"""Tests pinning the transcribed paper fixtures to internal consistency."""
+
+import numpy as np
+import pytest
+
+from repro.eval.paper import (
+    FIGURE2_MARGINALS,
+    PAPER_N,
+    PAPER_SECOND_ORDER_CELLS,
+    PAPER_TABLE1,
+    TABLE2_CELL,
+    TABLE2_TARGET,
+    paper_table,
+)
+
+
+class TestFigure1:
+    def test_total(self, table):
+        assert table.total == PAPER_N
+
+    def test_slice_sums(self, table):
+        # Figure 2: family history yes slice N=1780, no slice N=1648.
+        assert table.counts[:, :, 0].sum() == 1780
+        assert table.counts[:, :, 1].sum() == 1648
+
+    def test_paper_table_fresh_instances(self):
+        assert paper_table() == paper_table()
+        assert paper_table() is not paper_table()
+
+
+class TestTable1Fixture:
+    def test_sixteen_rows(self):
+        assert len(PAPER_TABLE1) == PAPER_SECOND_ORDER_CELLS
+
+    def test_observed_counts_match_figure2(self, table):
+        for row in PAPER_TABLE1:
+            assert (
+                table.marginal(list(row.subset))[row.values] == row.observed
+            ), row
+
+    def test_probability_consistent_with_rounded_margins(self, table):
+        """Each printed p is the product of 2-digit-rounded margins
+        (tolerance reflects the rounding)."""
+        for row in PAPER_TABLE1:
+            exact = np.prod(
+                [
+                    table.first_order_probabilities(name)[value]
+                    for name, value in zip(row.subset, row.values)
+                ]
+            )
+            assert row.probability == pytest.approx(exact, abs=0.01), row
+
+    def test_mean_is_n_times_p(self):
+        """Each printed mean tracks N * p (paper slack from rounding)."""
+        for row in PAPER_TABLE1:
+            assert row.mean == pytest.approx(
+                PAPER_N * row.probability, rel=0.03
+            ), row
+
+    def test_marginals_fixture_consistent(self, table):
+        for subset, expected in FIGURE2_MARGINALS.items():
+            assert table.marginal(list(subset)).tolist() == expected
+
+
+class TestTable2Fixture:
+    def test_target_is_cell_share(self, table):
+        subset, values = TABLE2_CELL
+        observed = table.marginal(list(subset))[values]
+        assert TABLE2_TARGET == pytest.approx(observed / PAPER_N)
+        assert observed == 750
+
+    def test_target_matches_paper_b(self):
+        """The paper's Eq 72: b = .219."""
+        assert TABLE2_TARGET == pytest.approx(0.219, abs=5e-4)

@@ -1,0 +1,43 @@
+"""Tests for the one-shot report generator."""
+
+from repro.cli import main
+from repro.eval.report import generate_report, write_report
+
+
+class TestGenerate:
+    def test_contains_every_section(self):
+        report = generate_report(recovery_trials=1, recovery_n=4000)
+        for needle in [
+            "E1 — Figure 1",
+            "E2 — Figure 2",
+            "E3 — Table 1",
+            "E4 — Table 2",
+            "E5 — Figure 3",
+            "E6 — Figure 4",
+            "E8 — Appendix B",
+            "A1 — selector recovery",
+        ]:
+            assert needle in report
+
+    def test_embeds_paper_numbers(self):
+        report = generate_report(recovery_trials=1, recovery_n=4000)
+        assert "3428" in report
+        assert "-11.57" in report  # Table 1's most significant delta
+
+    def test_write_report(self, tmp_path):
+        path = write_report(
+            tmp_path / "report.md", recovery_trials=1, recovery_n=4000
+        )
+        assert path.exists()
+        assert path.read_text().startswith("# Reproduction report")
+
+
+class TestCLI:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        assert "Reproduction report" in capsys.readouterr().out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "out.md"
+        assert main(["report", "--output", str(target)]) == 0
+        assert target.exists()

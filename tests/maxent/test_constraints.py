@@ -1,0 +1,149 @@
+"""Tests for constraint construction and validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConstraintError
+from repro.maxent.constraints import CellConstraint, ConstraintSet
+
+
+class TestCellConstraint:
+    def test_basic(self):
+        constraint = CellConstraint(("A", "B"), (0, 1), 0.25)
+        assert constraint.order == 2
+        assert constraint.key == (("A", "B"), (0, 1))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConstraintError, match="lengths"):
+            CellConstraint(("A", "B"), (0,), 0.25)
+
+    def test_rejects_first_order(self):
+        with pytest.raises(ConstraintError, match="order"):
+            CellConstraint(("A",), (0,), 0.25)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConstraintError, match="probability"):
+            CellConstraint(("A", "B"), (0, 1), 1.5)
+
+    def test_matches(self, schema):
+        constraint = CellConstraint(("SMOKING", "FAMILY_HISTORY"), (0, 1), 0.2)
+        assert constraint.matches(schema, (0, 0, 1))
+        assert constraint.matches(schema, (0, 1, 1))
+        assert not constraint.matches(schema, (1, 0, 1))
+        assert not constraint.matches(schema, (0, 0, 0))
+
+    def test_describe(self, schema):
+        constraint = CellConstraint(("SMOKING", "CANCER"), (0, 0), 0.07)
+        text = constraint.describe(schema)
+        assert "SMOKING=smoker" in text
+        assert "CANCER=yes" in text
+        assert "0.07" in text
+
+
+class TestConstraintSet:
+    def test_first_order_from_table(self, table):
+        constraints = ConstraintSet.first_order(table)
+        constraints.validate_complete()
+        assert constraints.margin("CANCER") == pytest.approx(
+            [433 / 3428, 2995 / 3428]
+        )
+        assert len(constraints.cells) == 0
+
+    def test_margin_validation(self, table):
+        constraints = ConstraintSet(table.schema)
+        with pytest.raises(ConstraintError, match="sum to 1"):
+            constraints.set_margin("CANCER", [0.5, 0.6])
+        with pytest.raises(ConstraintError, match="length"):
+            constraints.set_margin("CANCER", [1.0])
+        with pytest.raises(ConstraintError, match="negative"):
+            constraints.set_margin("CANCER", [1.2, -0.2])
+
+    def test_validate_complete_missing(self, table):
+        constraints = ConstraintSet(table.schema)
+        with pytest.raises(ConstraintError, match="missing"):
+            constraints.validate_complete()
+
+    def test_add_cell_canonical_order_required(self, table):
+        constraints = ConstraintSet.first_order(table)
+        with pytest.raises(ConstraintError, match="canonical"):
+            constraints.add_cell(
+                CellConstraint(("CANCER", "SMOKING"), (0, 0), 0.07)
+            )
+
+    def test_add_cell_value_range(self, table):
+        constraints = ConstraintSet.first_order(table)
+        with pytest.raises(ConstraintError, match="out of range"):
+            constraints.add_cell(
+                CellConstraint(("SMOKING", "CANCER"), (9, 0), 0.07)
+            )
+
+    def test_add_cell_duplicate(self, table):
+        constraints = ConstraintSet.first_order(table)
+        cell = CellConstraint(("SMOKING", "CANCER"), (0, 0), 0.07)
+        constraints.add_cell(cell)
+        with pytest.raises(ConstraintError, match="duplicate"):
+            constraints.add_cell(cell)
+
+    def test_add_cell_exceeding_margin(self, table):
+        constraints = ConstraintSet.first_order(table)
+        # P(SMOKING=smoker) ~ .376, so a pair cell at .5 is impossible.
+        with pytest.raises(ConstraintError, match="exceeds margin"):
+            constraints.add_cell(
+                CellConstraint(("SMOKING", "CANCER"), (0, 0), 0.5)
+            )
+
+    def test_add_cell_exceeding_containing_cell(self, table):
+        constraints = ConstraintSet.first_order(table)
+        constraints.add_cell(
+            CellConstraint(("SMOKING", "CANCER"), (0, 0), 0.07)
+        )
+        with pytest.raises(ConstraintError, match="containing"):
+            constraints.add_cell(
+                CellConstraint(
+                    ("SMOKING", "CANCER", "FAMILY_HISTORY"), (0, 0, 0), 0.12
+                )
+            )
+
+    def test_cell_from_table(self, table):
+        constraints = ConstraintSet.first_order(table)
+        constraint = constraints.cell_from_table(
+            table, ["FAMILY_HISTORY", "SMOKING"], [1, 0]
+        )
+        # Canonicalized to (SMOKING, FAMILY_HISTORY) order, values realigned.
+        assert constraint.attributes == ("SMOKING", "FAMILY_HISTORY")
+        assert constraint.values == (0, 1)
+        assert constraint.probability == pytest.approx(750 / 3428)
+
+    def test_cells_of_order(self, table):
+        constraints = ConstraintSet.first_order(table)
+        constraints.add_cell(
+            CellConstraint(("SMOKING", "CANCER"), (0, 0), 0.07)
+        )
+        assert len(constraints.cells_of_order(2)) == 1
+        assert len(constraints.cells_of_order(3)) == 0
+
+    def test_copy_is_independent(self, table):
+        constraints = ConstraintSet.first_order(table)
+        clone = constraints.copy()
+        clone.add_cell(CellConstraint(("SMOKING", "CANCER"), (0, 0), 0.07))
+        assert len(constraints.cells) == 0
+        assert len(clone.cells) == 1
+        clone._margins["CANCER"][0] = 0.9
+        assert constraints.margin("CANCER")[0] != pytest.approx(0.9)
+
+    def test_len_and_iter(self, table):
+        constraints = ConstraintSet.first_order(table)
+        constraints.add_cell(CellConstraint(("SMOKING", "CANCER"), (0, 0), 0.07))
+        assert len(constraints) == 4  # 3 margins + 1 cell
+        assert [c.key for c in constraints] == [(("SMOKING", "CANCER"), (0, 0))]
+
+    def test_margin_unknown(self, table):
+        constraints = ConstraintSet(table.schema)
+        with pytest.raises(ConstraintError, match="no margin"):
+            constraints.margin("CANCER")
+
+    def test_margins_from_numpy(self, table):
+        constraints = ConstraintSet(table.schema)
+        constraints.set_margin("CANCER", np.array([0.2, 0.8]))
+        assert constraints.has_margin("CANCER")
+        assert not constraints.has_margin("SMOKING")

@@ -1,0 +1,79 @@
+"""Tests for entropy / information helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.maxent.entropy import (
+    conditional_entropy,
+    entropy,
+    kl_divergence,
+    mutual_information,
+)
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        assert entropy(np.full(8, 1 / 8)) == pytest.approx(math.log(8))
+
+    def test_point_mass_is_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_tensor_input(self):
+        joint = np.full((2, 2), 0.25)
+        assert entropy(joint) == pytest.approx(math.log(4))
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(DataError, match="sum to 1"):
+            entropy(np.array([0.5, 0.2]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(DataError, match="non-negative"):
+            entropy(np.array([1.2, -0.2]))
+
+
+class TestKL:
+    def test_zero_for_identical(self):
+        p = np.array([0.3, 0.7])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_positive_for_different(self):
+        assert kl_divergence(np.array([0.9, 0.1]), np.array([0.5, 0.5])) > 0
+
+    def test_infinite_when_support_mismatch(self):
+        assert kl_divergence(
+            np.array([0.5, 0.5]), np.array([1.0, 0.0])
+        ) == float("inf")
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DataError, match="sizes"):
+            kl_divergence(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestMutualInformation:
+    def test_independent_is_zero(self):
+        joint = np.outer([0.3, 0.7], [0.4, 0.6])
+        assert mutual_information(joint) == pytest.approx(0.0, abs=1e-12)
+
+    def test_perfectly_dependent(self):
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert mutual_information(joint) == pytest.approx(math.log(2))
+
+    def test_requires_2d(self):
+        with pytest.raises(DataError, match="2-D"):
+            mutual_information(np.full(4, 0.25))
+
+
+class TestConditionalEntropy:
+    def test_chain_rule(self):
+        joint = np.array([[0.25, 0.25], [0.1, 0.4]])
+        col = joint.sum(axis=0)
+        assert conditional_entropy(joint) == pytest.approx(
+            entropy(joint) - entropy(col)
+        )
+
+    def test_deterministic_given_col(self):
+        joint = np.array([[0.5, 0.0], [0.0, 0.5]])
+        assert conditional_entropy(joint) == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,92 @@
+"""Tests for the binomial statistics (Eqs 32-34)."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.exceptions import DataError
+from repro.significance.binomial import (
+    binomial_mean,
+    binomial_sd,
+    log_binomial_coefficient,
+    log_binomial_pmf,
+    standard_score,
+)
+
+
+class TestCoefficient:
+    def test_small_values_exact(self):
+        assert log_binomial_coefficient(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial_coefficient(10, 0) == pytest.approx(0.0)
+        assert log_binomial_coefficient(10, 10) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        assert log_binomial_coefficient(100, 30) == pytest.approx(
+            log_binomial_coefficient(100, 70)
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DataError):
+            log_binomial_coefficient(5, 6)
+        with pytest.raises(DataError):
+            log_binomial_coefficient(5, -1)
+
+
+class TestLogPMF:
+    @pytest.mark.parametrize(
+        "k,n,p",
+        [(0, 10, 0.3), (3, 10, 0.3), (10, 10, 0.3), (240, 3428, 0.0475)],
+    )
+    def test_matches_scipy(self, k, n, p):
+        assert log_binomial_pmf(k, n, p) == pytest.approx(
+            float(stats.binom.logpmf(k, n, p)), rel=1e-10
+        )
+
+    def test_sums_to_one(self):
+        n, p = 20, 0.37
+        total = sum(math.exp(log_binomial_pmf(k, n, p)) for k in range(n + 1))
+        assert total == pytest.approx(1.0)
+
+    def test_degenerate_p_zero(self):
+        assert log_binomial_pmf(0, 10, 0.0) == 0.0
+        assert log_binomial_pmf(1, 10, 0.0) == float("-inf")
+
+    def test_degenerate_p_one(self):
+        assert log_binomial_pmf(10, 10, 1.0) == 0.0
+        assert log_binomial_pmf(9, 10, 1.0) == float("-inf")
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DataError):
+            log_binomial_pmf(5, 3, 0.5)
+        with pytest.raises(DataError):
+            log_binomial_pmf(1, 3, 1.5)
+        with pytest.raises(DataError):
+            log_binomial_pmf(1, -1, 0.5)
+
+    def test_deep_tail_stability(self):
+        """The MML test evaluates 6-sigma tails; lgamma keeps them finite."""
+        value = log_binomial_pmf(240, 3428, 0.0475)
+        assert math.isfinite(value)
+        assert value < -20  # deep in the tail
+
+
+class TestMoments:
+    def test_mean(self):
+        assert binomial_mean(3428, 0.0475) == pytest.approx(162.8, abs=0.1)
+
+    def test_sd(self):
+        assert binomial_sd(3428, 0.0475) == pytest.approx(12.45, abs=0.02)
+
+    def test_sd_degenerate(self):
+        assert binomial_sd(100, 0.0) == 0.0
+        assert binomial_sd(100, 1.0) == 0.0
+
+    def test_standard_score_paper_value(self):
+        """Table 1 row AB11: ~6 sd above the mean."""
+        z = standard_score(240, 3428, 0.0475)
+        assert z == pytest.approx(6.2, abs=0.2)
+
+    def test_standard_score_zero_sd(self):
+        assert standard_score(0, 100, 0.0) == 0.0
+        assert standard_score(5, 100, 0.0) == float("inf")

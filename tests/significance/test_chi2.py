@@ -1,0 +1,82 @@
+"""Tests for the classical chi-square / z-test baselines."""
+
+import pytest
+
+from repro.baselines.empirical import empirical_model
+from repro.baselines.independence import independence_model
+from repro.significance.chi2 import (
+    cell_z_test,
+    marginal_chi2,
+    marginal_g2,
+)
+
+
+class TestCellZTest:
+    def test_paper_cell_is_extreme(self, table):
+        model = independence_model(table)
+        p = model.probability({"SMOKING": "smoker", "CANCER": "yes"})
+        z, p_value = cell_z_test(240, table.total, p)
+        assert z > 5.0
+        assert p_value < 1e-8
+
+    def test_expected_cell_not_significant(self, table):
+        model = independence_model(table)
+        p = model.probability({"SMOKING": "non-smoker", "CANCER": "no"})
+        _z, p_value = cell_z_test(
+            table.count({"SMOKING": "non-smoker", "CANCER": "no"}),
+            table.total,
+            p,
+        )
+        assert p_value > 0.01
+
+    def test_two_sided(self, table):
+        z_low, p_low = cell_z_test(100, 1000, 0.2)
+        z_high, p_high = cell_z_test(300, 1000, 0.2)
+        assert z_low < 0 < z_high
+        assert p_low < 0.05 and p_high < 0.05
+
+    def test_degenerate_sd(self):
+        z, p_value = cell_z_test(5, 100, 0.0)
+        assert z == float("inf")
+        assert p_value == 0.0
+
+
+class TestMarginalTests:
+    def test_independence_rejected_on_paper_data(self, table):
+        model = independence_model(table)
+        stat, dof, p_value = marginal_chi2(
+            table, model, ("SMOKING", "CANCER")
+        )
+        assert dof == 5
+        assert stat > 30
+        assert p_value < 1e-4
+
+    def test_saturated_model_fits_perfectly(self, table):
+        model = empirical_model(table)
+        stat, _dof, p_value = marginal_chi2(
+            table, model, ("SMOKING", "CANCER")
+        )
+        assert stat == pytest.approx(0.0, abs=1e-6)
+        assert p_value == pytest.approx(1.0)
+
+    def test_g2_close_to_chi2(self, table):
+        """For these sample sizes the two statistics agree to ~10%."""
+        model = independence_model(table)
+        chi2_stat, _dof, _p = marginal_chi2(table, model, ("SMOKING", "CANCER"))
+        g2_stat, _dof, _p = marginal_g2(table, model, ("SMOKING", "CANCER"))
+        assert g2_stat == pytest.approx(chi2_stat, rel=0.15)
+
+    def test_infinite_when_model_excludes_observation(self, table):
+        import numpy as np
+
+        from repro.maxent.model import MaxEntModel
+
+        margins = {
+            "SMOKING": np.array([1.0, 0.0, 0.0]),
+            "CANCER": np.array([0.5, 0.5]),
+            "FAMILY_HISTORY": np.array([0.5, 0.5]),
+        }
+        model = MaxEntModel.independent(table.schema, margins)
+        stat, _dof, p_value = marginal_chi2(table, model, ("SMOKING",))
+        assert stat == float("inf")
+        assert p_value == 0.0

@@ -1,0 +1,248 @@
+"""Tests for the MML significance test (Eqs 35-47) against Table 1."""
+
+import math
+
+import pytest
+
+from repro.baselines.independence import independence_model
+from repro.eval.paper import PAPER_TABLE1
+from repro.exceptions import DataError
+from repro.maxent.constraints import ConstraintSet
+from repro.significance.mml import (
+    MMLPriors,
+    evaluate_cell,
+    feasible_range,
+    most_significant,
+    scan_order,
+)
+
+
+@pytest.fixture
+def constraints(table):
+    return ConstraintSet.first_order(table)
+
+
+@pytest.fixture
+def model(table):
+    return independence_model(table)
+
+
+@pytest.fixture
+def scan(table, model, constraints):
+    return scan_order(table, model, 2, constraints)
+
+
+class TestPriors:
+    def test_default_cancels(self):
+        assert MMLPriors.equal().prior_shift == pytest.approx(0.0)
+
+    def test_paper_prior_shifts(self):
+        """Paper: p(H2')=.6 shifts (m2-m1) by -.40; .8 shifts by -1.39."""
+        shift_06 = MMLPriors(p_h1=0.4, p_h2_prime=0.6).prior_shift
+        assert shift_06 == pytest.approx(-0.405, abs=0.01)
+        shift_08 = MMLPriors(p_h1=0.2, p_h2_prime=0.8).prior_shift
+        assert shift_08 == pytest.approx(-1.386, abs=0.01)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(DataError):
+            MMLPriors(p_h1=0.0)
+        with pytest.raises(DataError):
+            MMLPriors(p_h2_prime=1.0)
+
+
+class TestFeasibleRange:
+    def test_second_order_min_of_margins(self, table, constraints):
+        """Cell (SMOKING=1, CANCER=1): range = min(N^A_1, N^B_1) = 433."""
+        cell_range, determined = feasible_range(
+            table, ("SMOKING", "CANCER"), (0, 0), constraints
+        )
+        assert cell_range == 433
+        assert not determined
+
+    def test_second_order_other_margin_binding(self, table, constraints):
+        """Cell (SMOKING=1, FH=2): min(1290, 1648) = 1290."""
+        cell_range, _determined = feasible_range(
+            table, ("SMOKING", "FAMILY_HISTORY"), (0, 1), constraints
+        )
+        assert cell_range == 1290
+
+    def test_significant_siblings_reduce_range(self, table, constraints):
+        """Adopting (SMOKING=1, CANCER=1) removes its 240 counts from the
+        slack available to (SMOKING=1, CANCER=2)."""
+        constraints.add_cell(
+            constraints.cell_from_table(table, ["SMOKING", "CANCER"], [0, 0])
+        )
+        cell_range, determined = feasible_range(
+            table, ("SMOKING", "CANCER"), (0, 1), constraints
+        )
+        # N^A_1 = 1290 minus sibling 240 = 1050; N^B_2 = 2995 untouched.
+        assert cell_range == 1050
+        # CANCER has 2 values: the sibling along SMOKING=1 covers all
+        # other cells of that row, so the value is determined.
+        assert determined
+
+    def test_determined_via_full_row(self, table, constraints):
+        """With both other SMOKING rows of CANCER=yes significant, the
+        remaining (SMOKING=3, CANCER=yes) cell is determined."""
+        for i in (0, 1):
+            constraints.add_cell(
+                constraints.cell_from_table(table, ["SMOKING", "CANCER"], [i, 0])
+            )
+        _range, determined = feasible_range(
+            table, ("SMOKING", "CANCER"), (2, 0), constraints
+        )
+        assert determined
+
+    def test_third_order_uses_significant_pair(self, table, constraints):
+        """A significant AB pair bounds its ABC refinements."""
+        constraints.add_cell(
+            constraints.cell_from_table(table, ["SMOKING", "CANCER"], [0, 0])
+        )
+        cell_range, _determined = feasible_range(
+            table,
+            ("SMOKING", "CANCER", "FAMILY_HISTORY"),
+            (0, 0, 0),
+            constraints,
+        )
+        # Bounded by the AB cell's own count 240, tighter than any margin.
+        assert cell_range <= 240
+
+
+class TestEvaluateCell:
+    def test_paper_table1_deltas(self, table, model, constraints):
+        """Every Table-1 m2-m1 reproduces to within 0.05 and every
+        likelihood ratio to within 10%."""
+        for reference in PAPER_TABLE1:
+            test = evaluate_cell(
+                table,
+                model,
+                reference.subset,
+                reference.values,
+                constraints,
+                candidate_pool=16,
+            )
+            assert test.delta == pytest.approx(reference.delta, abs=0.08), (
+                reference
+            )
+            if reference.ratio is not None:
+                # The paper prints ratios with 2-3 significant digits; small
+                # ratios get an absolute band, large ones a relative band.
+                if reference.ratio < 1.0:
+                    assert test.likelihood_ratio == pytest.approx(
+                        reference.ratio, abs=0.06
+                    ), reference
+                else:
+                    assert test.likelihood_ratio == pytest.approx(
+                        reference.ratio, rel=0.12
+                    ), reference
+
+    def test_significance_sign_rule(self, table, model, constraints):
+        """Eq 47: significant iff m2 - m1 < 0."""
+        test = evaluate_cell(
+            table, model, ("SMOKING", "CANCER"), (0, 0), constraints
+        )
+        assert test.significant
+        assert test.delta < 0
+        test = evaluate_cell(
+            table, model, ("SMOKING", "CANCER"), (1, 1), constraints
+        )
+        assert not test.significant
+
+    def test_likelihood_ratio_is_exp_delta(self, table, model, constraints):
+        test = evaluate_cell(
+            table, model, ("CANCER", "FAMILY_HISTORY"), (0, 0), constraints
+        )
+        assert test.likelihood_ratio == pytest.approx(math.exp(test.delta))
+
+    def test_pool_defaults_to_cells_minus_found(
+        self, table, model, constraints
+    ):
+        explicit = evaluate_cell(
+            table, model, ("SMOKING", "CANCER"), (0, 0), constraints,
+            candidate_pool=16,
+        )
+        defaulted = evaluate_cell(
+            table, model, ("SMOKING", "CANCER"), (0, 0), constraints
+        )
+        assert defaulted.m2 == pytest.approx(explicit.m2)
+
+    def test_prior_shift_moves_delta(self, table, model, constraints):
+        base = evaluate_cell(
+            table, model, ("CANCER", "FAMILY_HISTORY"), (0, 0), constraints
+        )
+        shifted = evaluate_cell(
+            table,
+            model,
+            ("CANCER", "FAMILY_HISTORY"),
+            (0, 0),
+            constraints,
+            priors=MMLPriors(p_h1=0.2, p_h2_prime=0.8),
+        )
+        assert shifted.delta == pytest.approx(base.delta - 1.386, abs=0.01)
+
+    def test_empty_pool_rejected(self, table, model, constraints):
+        with pytest.raises(DataError, match="pool"):
+            evaluate_cell(
+                table, model, ("SMOKING", "CANCER"), (0, 0), constraints,
+                candidate_pool=0,
+            )
+
+    def test_describe(self, table, model, constraints, schema):
+        test = evaluate_cell(
+            table, model, ("SMOKING", "CANCER"), (0, 0), constraints
+        )
+        text = test.describe(schema)
+        assert "smoker" in text
+        assert "significant" in text
+
+
+class TestScanOrder:
+    def test_scans_all_sixteen_cells(self, scan):
+        assert len(scan) == 16
+
+    def test_excludes_adopted_cells(self, table, model, constraints):
+        constraints.add_cell(
+            constraints.cell_from_table(table, ["SMOKING", "CANCER"], [0, 0])
+        )
+        tests = scan_order(table, model, 2, constraints)
+        assert len(tests) == 15
+        assert all(
+            (t.attributes, t.values) != (("SMOKING", "CANCER"), (0, 0))
+            for t in tests
+        )
+
+    def test_most_significant_is_smoker_cancer(self, scan):
+        """Table 1: AB11 has the most negative m2-m1 (-11.57)."""
+        best = most_significant(scan)
+        assert best is not None
+        assert best.attributes == ("SMOKING", "CANCER")
+        assert best.values == (0, 0)
+
+    def test_significant_set_matches_paper(self, scan):
+        """The cells with negative delta in Table 1."""
+        significant = {
+            (t.attributes, t.values) for t in scan if t.significant
+        }
+        expected = {
+            (("SMOKING", "CANCER"), (0, 0)),
+            (("SMOKING", "CANCER"), (1, 0)),
+            (("CANCER", "FAMILY_HISTORY"), (0, 1)),
+            (("SMOKING", "FAMILY_HISTORY"), (0, 0)),
+            (("SMOKING", "FAMILY_HISTORY"), (0, 1)),
+            (("SMOKING", "FAMILY_HISTORY"), (2, 0)),
+            (("SMOKING", "FAMILY_HISTORY"), (2, 1)),
+        }
+        assert significant == expected
+
+    def test_most_significant_none_when_clean(self, table, constraints):
+        """Scanning the empirical distribution itself finds nothing: the
+        model already predicts every cell."""
+        from repro.baselines.empirical import empirical_model
+
+        model = empirical_model(table)
+        tests = scan_order(table, model, 2, constraints)
+        assert most_significant(tests) is None
+
+    def test_third_order_scan(self, table, model, constraints):
+        tests = scan_order(table, model, 3, constraints)
+        assert len(tests) == 12

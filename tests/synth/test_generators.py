@@ -1,0 +1,159 @@
+"""Tests for synthetic population generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.synth.generators import (
+    PlantedCell,
+    build_planted_population,
+    independent_population,
+    random_margins,
+    random_planted_population,
+    random_schema,
+    recovery_score,
+)
+from repro.synth.surveys import (
+    medical_survey_population,
+    smoking_cancer_population,
+    telemetry_population,
+)
+
+
+class TestRandomSchema:
+    def test_cardinality_bounds(self, rng):
+        schema = random_schema(rng, 5, min_values=2, max_values=3)
+        assert len(schema) == 5
+        assert all(2 <= a.cardinality <= 3 for a in schema)
+
+    def test_generic_names(self, rng):
+        schema = random_schema(rng, 3)
+        assert schema.names == ("A", "B", "C")
+
+    def test_limits(self, rng):
+        with pytest.raises(DataError):
+            random_schema(rng, 0)
+        with pytest.raises(DataError):
+            random_schema(rng, 27)
+
+
+class TestPlantedPopulation:
+    def test_joint_normalized(self, rng):
+        population = random_planted_population(rng)
+        assert population.joint.sum() == pytest.approx(1.0)
+        assert (population.joint >= 0).all()
+
+    def test_planted_cell_is_in_excess(self, rng):
+        """A strength>1 planted cell's probability exceeds the product of
+        its margins."""
+        schema = random_schema(rng, 3)
+        margins = random_margins(rng, schema)
+        cell = PlantedCell(("A", "B"), (0, 0), 4.0)
+        population = build_planted_population(schema, margins, [cell])
+        joint = population.joint
+        pair = joint.sum(axis=2)
+        margin_a = joint.sum(axis=(1, 2))
+        margin_b = joint.sum(axis=(0, 2))
+        assert pair[0, 0] > margin_a[0] * margin_b[0]
+
+    def test_no_planting_is_independent(self, rng):
+        population = independent_population(rng, num_attributes=3)
+        joint = population.joint
+        margin_a = joint.sum(axis=(1, 2))
+        margin_b = joint.sum(axis=(0, 2))
+        margin_c = joint.sum(axis=(0, 1))
+        expected = np.einsum("i,j,k->ijk", margin_a, margin_b, margin_c)
+        assert np.allclose(joint, expected, atol=1e-12)
+
+    def test_distinct_planted_cells(self, rng):
+        population = random_planted_population(rng, num_planted=3)
+        assert len(population.planted_keys()) == 3
+
+    def test_sample_reproducible(self):
+        population = random_planted_population(np.random.default_rng(5))
+        first = population.sample(100, np.random.default_rng(9))
+        second = population.sample(100, np.random.default_rng(9))
+        assert np.array_equal(first.rows, second.rows)
+
+    def test_sample_table_total(self, rng):
+        population = random_planted_population(rng)
+        table = population.sample_table(1234, rng)
+        assert table.total == 1234
+
+    def test_invalid_strength(self):
+        with pytest.raises(DataError):
+            PlantedCell(("A", "B"), (0, 0), 0.0)
+
+    def test_out_of_range_planted_value(self, rng):
+        schema = random_schema(rng, 2, min_values=2, max_values=2)
+        margins = random_margins(rng, schema)
+        with pytest.raises(DataError, match="out of range"):
+            build_planted_population(
+                schema, margins, [PlantedCell(("A", "B"), (0, 9), 2.0)]
+            )
+
+
+class TestRecoveryScore:
+    def test_perfect_recovery(self, rng):
+        population = random_planted_population(rng, num_planted=2)
+        precision, recall = recovery_score(
+            population, population.planted_keys()
+        )
+        assert precision == 1.0
+        assert recall == 1.0
+
+    def test_false_alarm_hurts_precision(self, rng):
+        population = random_planted_population(rng, num_planted=1)
+        keys = population.planted_keys() | {(("A", "B"), (1, 1))}
+        precision, recall = recovery_score(population, keys)
+        assert recall == 1.0
+        assert precision == pytest.approx(0.5)
+
+    def test_nothing_found(self, rng):
+        population = random_planted_population(rng, num_planted=2)
+        precision, recall = recovery_score(population, set())
+        assert recall == 0.0
+
+    def test_null_population_empty_found_is_perfect(self, rng):
+        population = independent_population(rng)
+        precision, recall = recovery_score(population, set())
+        assert precision == 1.0
+        assert recall == 1.0
+
+
+class TestSurveyWorlds:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            smoking_cancer_population,
+            medical_survey_population,
+            telemetry_population,
+        ],
+    )
+    def test_valid_distribution(self, factory):
+        population = factory()
+        assert population.joint.sum() == pytest.approx(1.0)
+        assert (population.joint >= 0).all()
+        assert len(population.planted) >= 2
+
+    def test_smoking_world_margins_match_paper(self):
+        population = smoking_cancer_population()
+        joint = population.joint
+        smoking = joint.sum(axis=(1, 2))
+        assert smoking == pytest.approx([0.376, 0.331, 0.293], abs=1e-9)
+
+    def test_smoking_world_associations_match_paper_direction(self):
+        """Smokers and family-history carriers have elevated cancer rates."""
+        population = smoking_cancer_population()
+        joint = population.joint
+        p_cancer_smoker = joint[0, 0, :].sum() / joint[0].sum()
+        p_cancer_nonsmoker = joint[1, 0, :].sum() / joint[1].sum()
+        assert p_cancer_smoker > p_cancer_nonsmoker
+
+    def test_telemetry_anomaly_association(self):
+        population = telemetry_population()
+        joint = population.joint
+        # P(anomaly | high vibration) > P(anomaly | low vibration)
+        high = joint[:, 1, :, 1].sum() / joint[:, 1, :, :].sum()
+        low = joint[:, 0, :, 1].sum() / joint[:, 0, :, :].sum()
+        assert high > low

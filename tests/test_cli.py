@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.data.dataset import Dataset
+from repro.data.io import write_dataset_csv
+
+
+@pytest.mark.parametrize(
+    "command,needle",
+    [
+        (["figure1"], "FIGURE 1"),
+        (["figure2"], "RELATION OF SMOKING TO CANCER"),
+        (["table1"], "TABLE 1"),
+        (["table2"], "TABLE 2"),
+        (["solvers"], "gevarter"),
+        (["appendixb"], "APPENDIX B"),
+        (["discover"], "constraints found"),
+        (["discover", "--max-order", "2"], "constraints found"),
+        (["rules", "--min-probability", "0.7"], "IF "),
+        (["loglinear"], "adopted margin"),
+    ],
+)
+def test_commands_print_expected(capsys, command, needle):
+    assert main(command) == 0
+    output = capsys.readouterr().out
+    assert needle in output
+
+
+def test_discover_with_csv(capsys, schema, table, rng, tmp_path):
+    dataset = Dataset.from_joint(schema, table.probabilities(), 3000, rng)
+    path = tmp_path / "survey.csv"
+    write_dataset_csv(dataset, path)
+    assert main(["discover", "--csv", str(path)]) == 0
+    output = capsys.readouterr().out
+    assert "N=3000" in output
+
+
+def test_recovery_command(capsys):
+    assert main(["recovery", "--trials", "1"]) == 0
+    output = capsys.readouterr().out
+    assert "mml" in output and "chi2" in output and "bic" in output
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

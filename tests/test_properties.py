@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These exercise the pipeline on arbitrary generated schemas, tables and
+constraint sets, checking the paper's structural guarantees:
+
+- marginals are consistent under summation (Eqs 1-6);
+- IPF fits satisfy every constraint and stay normalized;
+- the maxent fit's entropy dominates the empirical distribution's;
+- conditionals are ratios of joints (the paper's central identity);
+- dense and factored (Appendix-B) evaluation agree;
+- Appendix-A conversions round-trip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.contingency import ContingencyTable
+from repro.data.conversion import (
+    dataset_to_indicator_matrix,
+    dataset_to_tuple_matrix,
+    indicator_matrix_to_dataset,
+    tuple_matrix_to_contingency,
+    tuple_matrix_to_dataset,
+)
+from repro.data.dataset import Dataset
+from repro.data.schema import Attribute, Schema
+from repro.maxent import elimination
+from repro.maxent.constraints import ConstraintSet
+from repro.maxent.entropy import entropy
+from repro.maxent.ipf import fit_ipf
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def schemas(draw, max_attributes=3, max_values=3):
+    """Random small schemas."""
+    count = draw(st.integers(2, max_attributes))
+    attributes = []
+    for index in range(count):
+        cardinality = draw(st.integers(2, max_values))
+        name = f"ATTR{index}"
+        attributes.append(
+            Attribute(name, tuple(f"v{v}" for v in range(cardinality)))
+        )
+    return Schema(attributes)
+
+
+@st.composite
+def tables(draw, min_total=30):
+    """Random contingency tables with every cell occupied at least once
+    (so all first-order margins are positive)."""
+    schema = draw(schemas())
+    cells = schema.num_cells
+    counts = draw(
+        st.lists(st.integers(1, 60), min_size=cells, max_size=cells)
+    )
+    array = np.array(counts, dtype=np.int64).reshape(schema.shape)
+    return ContingencyTable(schema, array)
+
+
+@st.composite
+def tables_with_cell(draw):
+    """A table plus one random order-2 cell to constrain."""
+    table = draw(tables())
+    names = table.schema.names
+    i, j = draw(
+        st.tuples(
+            st.integers(0, len(names) - 1), st.integers(0, len(names) - 1)
+        ).filter(lambda t: t[0] < t[1])
+    )
+    subset = (names[i], names[j])
+    values = tuple(
+        draw(st.integers(0, table.schema.attribute(n).cardinality - 1))
+        for n in subset
+    )
+    return table, subset, values
+
+
+class TestMarginalConsistency:
+    @SETTINGS
+    @given(tables())
+    def test_marginals_sum_to_total(self, table):
+        for name in table.schema.names:
+            assert table.marginal([name]).sum() == table.total
+
+    @SETTINGS
+    @given(tables())
+    def test_pair_marginal_collapses_to_singles(self, table):
+        names = table.schema.names
+        pair = table.marginal([names[0], names[1]])
+        assert np.array_equal(pair.sum(axis=1), table.marginal([names[0]]))
+        assert np.array_equal(pair.sum(axis=0), table.marginal([names[1]]))
+
+    @SETTINGS
+    @given(tables())
+    def test_cells_of_order_cover_marginals(self, table):
+        for subset, values, count in table.cells_of_order(2):
+            assert count == table.marginal(subset)[values]
+
+
+class TestFitInvariants:
+    @SETTINGS
+    @given(tables_with_cell())
+    def test_ipf_satisfies_constraints(self, case):
+        table, subset, values = case
+        constraints = ConstraintSet.first_order(table)
+        constraints.add_cell(
+            constraints.cell_from_table(table, list(subset), list(values))
+        )
+        fit = fit_ipf(constraints, max_sweeps=3000, tol=1e-9)
+        model = fit.model
+        joint = model.joint()
+        assert joint.sum() == pytest.approx(1.0)
+        assert (joint >= -1e-12).all()
+        for name in table.schema.names:
+            assert np.allclose(
+                model.marginal([name]),
+                constraints.margin(name),
+                atol=1e-7,
+            )
+        marginal = model.marginal(list(subset))
+        assert marginal[values] == pytest.approx(
+            table.marginal(subset)[values] / table.total, abs=1e-7
+        )
+
+    @SETTINGS
+    @given(tables_with_cell())
+    def test_maxent_entropy_dominates_empirical(self, case):
+        table, subset, values = case
+        constraints = ConstraintSet.first_order(table)
+        constraints.add_cell(
+            constraints.cell_from_table(table, list(subset), list(values))
+        )
+        fit = fit_ipf(constraints, max_sweeps=3000, tol=1e-9)
+        assert entropy(fit.model.joint()) >= entropy(
+            table.probabilities()
+        ) - 1e-6
+
+    @SETTINGS
+    @given(tables_with_cell())
+    def test_conditional_is_ratio_of_joints(self, case):
+        table, subset, values = case
+        constraints = ConstraintSet.first_order(table)
+        constraints.add_cell(
+            constraints.cell_from_table(table, list(subset), list(values))
+        )
+        model = fit_ipf(constraints, max_sweeps=3000, tol=1e-9).model
+        first, second = subset
+        target = {first: values[0]}
+        given = {second: values[1]}
+        if model.probability(given) <= 0:
+            return
+        assert model.conditional(target, given) * model.probability(
+            given
+        ) == pytest.approx(model.probability({**target, **given}), abs=1e-9)
+
+    @SETTINGS
+    @given(tables_with_cell())
+    def test_elimination_agrees_with_dense(self, case):
+        table, subset, values = case
+        constraints = ConstraintSet.first_order(table)
+        constraints.add_cell(
+            constraints.cell_from_table(table, list(subset), list(values))
+        )
+        model = fit_ipf(constraints, max_sweeps=3000, tol=1e-9).model
+        dense = float(model.unnormalized().sum())
+        factored = elimination.partition_sum(model)
+        assert factored == pytest.approx(dense, rel=1e-9)
+        first, second = subset
+        target = {first: values[0]}
+        given = {second: values[1]}
+        if model.probability(given) > 0:
+            assert elimination.query(model, target, given) == pytest.approx(
+                model.conditional(target, given), rel=1e-8
+            )
+
+
+class TestConversionRoundTrips:
+    @SETTINGS
+    @given(tables(), st.integers(1, 50), st.integers(0, 2**31 - 1))
+    def test_appendix_a_round_trips(self, table, n, seed):
+        rng = np.random.default_rng(seed)
+        dataset = Dataset.from_joint(
+            table.schema, table.probabilities(), n, rng
+        )
+        indicator = dataset_to_indicator_matrix(dataset)
+        recovered = indicator_matrix_to_dataset(table.schema, indicator)
+        assert np.array_equal(recovered.rows, dataset.rows)
+
+        tuples = dataset_to_tuple_matrix(dataset)
+        recovered = tuple_matrix_to_dataset(table.schema, tuples)
+        assert np.array_equal(recovered.rows, dataset.rows)
+        assert tuple_matrix_to_contingency(
+            table.schema, tuples
+        ) == dataset.to_contingency()
+
+    @SETTINGS
+    @given(tables())
+    def test_table_json_round_trip(self, table):
+        from repro.data.io import table_from_dict, table_to_dict
+
+        assert table_from_dict(table_to_dict(table)) == table
+
+
+class TestDiscoveryInvariants:
+    @SETTINGS
+    @given(tables())
+    def test_discovery_terminates_and_model_valid(self, table):
+        """Discovery on arbitrary tables terminates with a valid model
+        satisfying all adopted constraints."""
+        from repro.discovery.config import DiscoveryConfig
+        from repro.discovery.engine import discover
+
+        result = discover(
+            table, DiscoveryConfig(max_order=2, tol=1e-8, max_sweeps=3000)
+        )
+        joint = result.model.joint()
+        assert joint.sum() == pytest.approx(1.0)
+        assert (joint >= -1e-12).all()
+        for cell in result.found:
+            marginal = result.model.marginal(list(cell.attributes))
+            assert marginal[cell.values] == pytest.approx(
+                cell.probability, abs=1e-6
+            )
