@@ -1,0 +1,117 @@
+"""Batch query throughput: compiled sessions vs seed-style sequential calls.
+
+Measures queries/sec for 1k mixed conditional queries on the paper model
+under each inference backend, against the seed baseline (a plain
+:class:`QueryEngine` that re-derives marginals — and re-materializes the
+joint — on every call, which is exactly what ``kb.query`` did before the
+session API).  Shape criteria: batched dense evaluation is at least 5x the
+sequential seed path, and both backends agree to machine precision.
+"""
+
+import time
+
+import pytest
+
+from repro.api.session import QuerySession
+from repro.core.query import QueryEngine
+from repro.discovery.engine import discover
+
+N_QUERIES = 1000
+
+
+@pytest.fixture(scope="module")
+def model():
+    from repro.eval.paper import paper_table
+
+    return discover(paper_table()).model
+
+
+@pytest.fixture(scope="module")
+def queries(model):
+    """1k mixed conditional queries cycling over realistic traffic shapes."""
+    schema = model.schema
+    pool = []
+    for attribute in schema:
+        for value in attribute.values:
+            target = f"{attribute.name}={value}"
+            pool.append(target)
+            for other in schema:
+                if other.name == attribute.name:
+                    continue
+                for evidence_value in other.values:
+                    pool.append(
+                        f"{target} | {other.name}={evidence_value}"
+                    )
+    return [pool[i % len(pool)] for i in range(N_QUERIES)]
+
+
+def test_bench_batch_dense(benchmark, model, queries):
+    session = QuerySession(model, backend="dense")
+    results = benchmark(session.batch, queries)
+    assert len(results) == N_QUERIES
+    assert all(0.0 <= p <= 1.0 for p in results)
+
+
+def test_bench_batch_elimination(benchmark, model, queries):
+    session = QuerySession(model, backend="elimination")
+    results = benchmark(session.batch, queries)
+    dense = QuerySession(model, backend="dense").batch(queries)
+    assert results == pytest.approx(dense, abs=1e-12)
+
+
+def test_bench_sequential_seed_baseline(benchmark, model, queries):
+    """The pre-session query path: parse + dense joint per call."""
+    engine = QueryEngine(model, method="dense")
+
+    def run_all():
+        return [engine.ask(text) for text in queries]
+
+    results = benchmark(run_all)
+    assert len(results) == N_QUERIES
+
+
+def test_batch_speedup_over_sequential(model, queries, write_report):
+    """Acceptance: batched sessions beat the seed path by >= 5x."""
+    engine = QueryEngine(model, method="dense")
+    start = time.perf_counter()
+    sequential = [engine.ask(text) for text in queries]
+    sequential_seconds = time.perf_counter() - start
+
+    rows = [
+        (
+            "sequential QueryEngine (seed)",
+            sequential_seconds,
+            N_QUERIES / sequential_seconds,
+        )
+    ]
+    batch_seconds = {}
+    for backend in ("dense", "elimination"):
+        session = QuerySession(model, backend=backend)
+        start = time.perf_counter()
+        batched = session.batch(queries)
+        batch_seconds[backend] = time.perf_counter() - start
+        assert batched == pytest.approx(sequential, rel=1e-9)
+        rows.append(
+            (
+                f"QuerySession.batch ({backend})",
+                batch_seconds[backend],
+                N_QUERIES / batch_seconds[backend],
+            )
+        )
+
+    speedup = sequential_seconds / batch_seconds["dense"]
+    lines = [
+        f"BATCH QUERY THROUGHPUT ({N_QUERIES} mixed conditional queries)",
+        "",
+        f"{'path':<36} {'seconds':>9} {'queries/sec':>12}",
+    ]
+    for label, seconds, rate in rows:
+        lines.append(f"{label:<36} {seconds:>9.4f} {rate:>12.0f}")
+    lines.append("")
+    lines.append(f"dense batch speedup over sequential: {speedup:.1f}x")
+    write_report("batch_query.txt", "\n".join(lines))
+
+    assert speedup >= 5.0, (
+        f"batched dense evaluation only {speedup:.1f}x faster than the "
+        f"sequential seed path (need >= 5x)"
+    )

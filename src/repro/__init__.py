@@ -12,9 +12,28 @@ Quickstart::
 
     kb = ProbabilisticKnowledgeBase.from_data(paper_table())
     kb.query("CANCER=yes | SMOKING=smoker")
+    kb.p("CANCER=yes").given("SMOKING=smoker").value()   # fluent form
     kb.rules(min_probability=0.5).describe()
+
+Serving many queries?  Open a session: queries compile once into plans,
+marginals are memoized, and batches share the underlying joint/marginal
+computations across an explicitly chosen (or auto-selected) inference
+backend::
+
+    session = kb.session(backend="auto")      # dense | elimination | plugin
+    session.batch(["CANCER=yes", "CANCER=yes | SMOKING=smoker"])
+    session.most_probable({"SMOKING": "smoker"})
 """
 
+from repro.api.backends import (
+    DenseBackend,
+    EliminationBackend,
+    InferenceBackend,
+    available_backends,
+    register_backend,
+)
+from repro.api.plan import QueryPlan, compile_query
+from repro.api.session import QuerySession
 from repro.core.inference import RuleEngine
 from repro.core.knowledge_base import ProbabilisticKnowledgeBase
 from repro.core.query import Query, QueryEngine
@@ -51,14 +70,19 @@ __all__ = [
     "ConvergenceError",
     "DataError",
     "Dataset",
+    "DenseBackend",
     "DiscoveryConfig",
     "DiscoveryEngine",
+    "EliminationBackend",
+    "InferenceBackend",
     "MMLPriors",
     "MaxEntModel",
     "ProbabilisticKnowledgeBase",
     "Query",
     "QueryEngine",
     "QueryError",
+    "QueryPlan",
+    "QuerySession",
     "ReproError",
     "Rule",
     "RuleEngine",
@@ -66,6 +90,8 @@ __all__ = [
     "RuleSet",
     "Schema",
     "SchemaError",
+    "available_backends",
+    "compile_query",
     "discover",
     "evaluate_cell",
     "fit_dual",
@@ -73,5 +99,6 @@ __all__ = [
     "fit_ipf",
     "paper_schema",
     "paper_table",
+    "register_backend",
     "scan_order",
 ]

@@ -1,0 +1,50 @@
+"""Session-based query API: compiled plans, batching, pluggable backends.
+
+The paper's claim is that once the significant joint probabilities are
+acquired, *any* probability relation follows.  This package is the serving
+side of that claim — the fit-once/serve-many split:
+
+- :mod:`repro.api.backends` — the :class:`InferenceBackend` protocol with a
+  dense (joint-tensor) and an elimination (Appendix-B factored) engine, an
+  ``auto`` selector, and a registry for plugging in new backends.
+- :mod:`repro.api.plan` — :class:`QueryPlan`, a query parsed and validated
+  once into resolved value indices so evaluation is two array lookups.
+- :mod:`repro.api.session` — :class:`QuerySession`, which compiles queries,
+  memoizes marginals in an LRU cache, and evaluates batches so shared
+  sub-computations are paid once.
+- :mod:`repro.api.builder` — the fluent ``kb.p("A=x").given("B=y")`` form.
+
+Quickstart::
+
+    session = kb.session(backend="auto")
+    plan = session.compile("CANCER=yes | SMOKING=smoker")
+    session.evaluate(plan)
+    session.batch(["CANCER=yes", "CANCER=yes | SMOKING=smoker"])
+"""
+
+from repro.api.backends import (
+    DenseBackend,
+    EliminationBackend,
+    InferenceBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    select_backend,
+)
+from repro.api.builder import ProbabilityExpression
+from repro.api.plan import QueryPlan, compile_query
+from repro.api.session import QuerySession
+
+__all__ = [
+    "DenseBackend",
+    "EliminationBackend",
+    "InferenceBackend",
+    "ProbabilityExpression",
+    "QueryPlan",
+    "QuerySession",
+    "available_backends",
+    "compile_query",
+    "create_backend",
+    "register_backend",
+    "select_backend",
+]

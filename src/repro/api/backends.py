@@ -1,0 +1,242 @@
+"""Pluggable inference backends behind a common marginal protocol.
+
+A backend answers one question — the normalized marginal over an attribute
+subset — and everything else (conditionals, distributions, MPE) is derived
+from it.  Two implementations ship:
+
+- :class:`DenseBackend` materializes the joint tensor once, caches it, and
+  answers marginals by axis sums.  Exact and fastest while the state space
+  fits in memory (every experiment in the paper).
+- :class:`EliminationBackend` runs the Appendix-B factored computation
+  (variable elimination) and never builds the joint, so wide schemas stay
+  tractable; the factor decomposition is cached across queries.
+
+Both caches self-invalidate via :meth:`MaxEntModel.fingerprint`, so a model
+mutated in place (e.g. mid-fit) never serves stale answers.
+
+The registry makes backends pluggable: ``@register_backend`` on a subclass
+adds it to :func:`available_backends`, and callers select by name — or pass
+``"auto"`` to let :func:`select_backend` pick per-model based on the size of
+the joint state space.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Mapping, Sequence
+from typing import ClassVar
+
+import numpy as np
+
+from repro.core.mpe import (
+    most_probable_from_joint,
+    most_probable_from_restricted,
+)
+from repro.exceptions import QueryError
+from repro.maxent import elimination
+from repro.maxent.model import MaxEntModel
+
+AUTO = "auto"
+
+# Above this many joint cells, "auto" switches from the dense tensor to
+# Appendix-B elimination (the tensor build stops amortizing).
+DENSE_CELL_LIMIT = 4096
+
+_REGISTRY: dict[str, type["InferenceBackend"]] = {}
+
+
+def register_backend(cls: type["InferenceBackend"]) -> type["InferenceBackend"]:
+    """Class decorator adding a backend to the registry under ``cls.name``.
+
+    Duplicate names are rejected — silently replacing a backend would
+    swap the implementation behind every session (and the ``auto``
+    selector) process-wide.  Call :func:`unregister_backend` first to
+    replace one deliberately.
+    """
+    name = getattr(cls, "name", "")
+    if not name or name == AUTO:
+        raise ValueError(
+            f"backend class {cls.__name__} needs a non-empty name "
+            f"(and {AUTO!r} is reserved)"
+        )
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(
+            f"an inference backend named {name!r} is already registered "
+            f"({_REGISTRY[name].__name__}); unregister it first to replace it"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (mainly for tests/plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def select_backend(model: MaxEntModel) -> str:
+    """The ``auto`` policy: pick a backend name for this model.
+
+    Dense evaluation wins while the joint state space is small; past
+    ``DENSE_CELL_LIMIT`` cells the factored Appendix-B path takes over.
+    """
+    if model.schema.num_cells <= DENSE_CELL_LIMIT:
+        return "dense"
+    return "elimination"
+
+
+def create_backend(name: str | None, model: MaxEntModel) -> "InferenceBackend":
+    """Instantiate a backend for ``model`` by name (``"auto"`` selects)."""
+    if name is None or name == AUTO:
+        name = select_backend(model)
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown inference backend {name!r}; available: "
+            f"{list(available_backends())} (or {AUTO!r})"
+        ) from None
+    return cls(model)
+
+
+class InferenceBackend(ABC):
+    """Evaluates marginals of a fitted model; everything else is ratios.
+
+    Subclasses implement :meth:`marginal`; the base class derives the full
+    joint and MPE queries from it.  Instances are bound to one model and may
+    cache aggressively — :meth:`invalidate` drops all caches, and
+    implementations are expected to self-invalidate when the model's
+    :meth:`~repro.maxent.model.MaxEntModel.fingerprint` changes.
+    """
+
+    name: ClassVar[str] = ""
+
+    def __init__(self, model: MaxEntModel):
+        self.model = model
+
+    @abstractmethod
+    def marginal(self, names: Sequence[str]) -> np.ndarray:
+        """Normalized marginal over ``names`` (axes in schema order)."""
+
+    def joint(self) -> np.ndarray:
+        """Dense normalized joint tensor (may be expensive for wide schemas)."""
+        return self.marginal(self.model.schema.names)
+
+    def invalidate(self) -> None:
+        """Drop any cached state (call after mutating the model in place)."""
+
+    def most_probable(
+        self, given: Mapping[str, int] | None = None
+    ) -> tuple[dict[str, str], float]:
+        """Most probable complete assignment consistent with the evidence.
+
+        ``given`` maps attribute names to value *indices*; returns
+        ``(assignment labels, conditional probability)``.
+        """
+        given = dict(given or {})
+        return most_probable_from_joint(
+            self.model.schema, self.joint(), given
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.model!r})"
+
+
+@register_backend
+class DenseBackend(InferenceBackend):
+    """Joint-tensor evaluation; the tensor is built once and cached."""
+
+    name = "dense"
+
+    def __init__(self, model: MaxEntModel):
+        super().__init__(model)
+        self._joint: np.ndarray | None = None
+        self._fingerprint: int | None = None
+
+    def _tensor(self) -> np.ndarray:
+        fingerprint = self.model.fingerprint()
+        if self._joint is None or fingerprint != self._fingerprint:
+            joint = self.model.joint()
+            # The cache entry is handed out by reference (joint() and
+            # zero-axis marginals); freeze it so callers can't corrupt it.
+            joint.flags.writeable = False
+            self._joint = joint
+            self._fingerprint = fingerprint
+        return self._joint
+
+    def joint(self) -> np.ndarray:
+        return self._tensor()
+
+    def marginal(self, names: Sequence[str]) -> np.ndarray:
+        schema = self.model.schema
+        ordered = schema.canonical_subset(names)
+        keep = set(schema.axes(ordered))
+        drop = tuple(ax for ax in range(len(schema)) if ax not in keep)
+        tensor = self._tensor()
+        return tensor.sum(axis=drop) if drop else tensor
+
+    def invalidate(self) -> None:
+        self._joint = None
+        self._fingerprint = None
+
+
+@register_backend
+class EliminationBackend(InferenceBackend):
+    """Appendix-B factored evaluation; never materializes the joint.
+
+    The model's factor decomposition is computed once and reused across
+    queries — each marginal still runs its own elimination, but skips the
+    per-call factor rebuild.
+    """
+
+    name = "elimination"
+
+    def __init__(self, model: MaxEntModel):
+        super().__init__(model)
+        self._factors: list[elimination.Factor] | None = None
+        self._fingerprint: int | None = None
+
+    def _factor_list(self) -> list[elimination.Factor]:
+        fingerprint = self.model.fingerprint()
+        if self._factors is None or fingerprint != self._fingerprint:
+            self._factors = elimination.model_factors(self.model)
+            self._fingerprint = fingerprint
+        return self._factors
+
+    def marginal(self, names: Sequence[str]) -> np.ndarray:
+        return elimination.marginal(
+            self.model, names, factors=self._factor_list()
+        )
+
+    def most_probable(
+        self, given: Mapping[str, int] | None = None
+    ) -> tuple[dict[str, str], float]:
+        """MPE over the evidence-restricted factor product.
+
+        Restricting the factors first keeps the table exponential only in
+        the number of *free* attributes, not the full schema; with little
+        or no evidence this still materializes a large table (exact MPE by
+        max-product elimination is future work).
+        """
+        schema = self.model.schema
+        given = dict(given or {})
+        restricted = [
+            elimination.restrict(f, given) for f in self._factor_list()
+        ]
+        product = elimination.Factor((), np.array(1.0))
+        for factor in restricted:
+            product = elimination.multiply(product, factor)
+        # Every attribute has a margin factor, so the product covers all
+        # free attributes; realign its axes into schema order.
+        free = [n for n in schema.names if n not in given]
+        permutation = [product.names.index(n) for n in free]
+        table = np.transpose(product.table, permutation)
+        return most_probable_from_restricted(schema, table, given)
+
+    def invalidate(self) -> None:
+        self._factors = None
+        self._fingerprint = None

@@ -1,0 +1,60 @@
+"""Fluent probability expressions: ``kb.p("CANCER=yes").given("SMOKING=smoker")``.
+
+A :class:`ProbabilityExpression` accumulates target and evidence terms and
+evaluates lazily through a :class:`~repro.api.session.QuerySession`, so the
+fluent form gets the same compiled-plan and marginal caching as every other
+query path.  Expressions are immutable: each ``.given(...)`` returns a new
+expression, so partially-built queries can be shared and extended safely.
+"""
+
+from __future__ import annotations
+
+from repro.api.session import QuerySession
+
+
+class ProbabilityExpression:
+    """A lazily-evaluated conditional probability, built fluently.
+
+    >>> kb.p("CANCER=yes").given("SMOKING=smoker").value()
+    0.186...
+    >>> float(kb.p("CANCER=yes"))
+    0.126...
+    """
+
+    def __init__(
+        self,
+        session: QuerySession,
+        target: str,
+        given: tuple[str, ...] = (),
+    ):
+        self._session = session
+        self._target = target
+        self._given = given
+
+    def given(self, evidence: str) -> "ProbabilityExpression":
+        """Return a new expression with ``evidence`` terms appended."""
+        return ProbabilityExpression(
+            self._session, self._target, self._given + (evidence,)
+        )
+
+    def text(self) -> str:
+        """The equivalent query string (what :meth:`value` evaluates)."""
+        if not self._given:
+            return self._target
+        return f"{self._target} | {', '.join(self._given)}"
+
+    def plan(self):
+        """Compile (and validate) without evaluating."""
+        return self._session.compile(self.text())
+
+    def value(self) -> float:
+        """Evaluate the expression to a probability."""
+        return self._session.ask(self.text())
+
+    def __float__(self) -> float:
+        return self.value()
+
+    def __repr__(self) -> str:
+        # Deliberately does not evaluate (or even compile): repr must never
+        # raise or trigger inference just because the object was displayed.
+        return f"ProbabilityExpression({self.text()!r})"

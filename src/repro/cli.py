@@ -10,6 +10,9 @@ Usage::
     repro discover --csv data.csv   # ... on your own data
     repro rules              # IF-THEN rules from the paper data
     repro recovery           # A1 selector-recovery ablation
+    repro query "CANCER=yes | SMOKING=smoker"   # probability queries
+    repro query --batch queries.txt --backend elimination
+    repro query --mpe --given "SMOKING=smoker"  # most probable explanation
 """
 
 from __future__ import annotations
@@ -79,6 +82,37 @@ def main(argv: list[str] | None = None) -> int:
         "--output", help="write to a file instead of stdout"
     )
 
+    query_parser = subparsers.add_parser(
+        "query", help="evaluate probability queries against a fitted model"
+    )
+    query_parser.add_argument(
+        "expressions",
+        nargs="*",
+        help='query strings like "CANCER=yes | SMOKING=smoker"',
+    )
+    query_parser.add_argument(
+        "--csv", help="CSV dataset to fit first (default: the paper's data)"
+    )
+    query_parser.add_argument(
+        "--kb", help="load a saved knowledge-base JSON instead of fitting"
+    )
+    query_parser.add_argument(
+        "--backend",
+        default="auto",
+        help="inference backend: auto, dense, elimination, or a plugin name",
+    )
+    query_parser.add_argument(
+        "--batch", help="file with one query per line, evaluated as a batch"
+    )
+    query_parser.add_argument(
+        "--mpe",
+        action="store_true",
+        help="report the most probable explanation instead of a probability",
+    )
+    query_parser.add_argument(
+        "--given", help='evidence for --mpe, e.g. "SMOKING=smoker"'
+    )
+
     args = parser.parse_args(argv)
     if args.command == "figure1":
         print(harness.reproduce_figure1())
@@ -140,6 +174,77 @@ def main(argv: list[str] | None = None) -> int:
             print(f"report written to {path}")
         else:
             print(generate_report())
+    elif args.command == "query":
+        return _run_query(args)
+    return 0
+
+
+def _run_query(args) -> int:
+    import json
+
+    from repro.exceptions import ReproError
+
+    try:
+        return _run_query_inner(args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_query_inner(args) -> int:
+    from pathlib import Path
+
+    from repro.api.backends import AUTO, available_backends
+    from repro.core.query import parse_assignment
+
+    # Validate the backend name up front: a typo should not cost a full
+    # model fit (or KB load) before being reported.
+    if args.backend != AUTO and args.backend not in available_backends():
+        print(
+            f"error: unknown inference backend {args.backend!r}; available: "
+            f"{list(available_backends())} (or {AUTO!r})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.mpe and (args.expressions or args.batch):
+        print(
+            "error: --mpe finds the single most probable assignment; it "
+            "cannot be combined with query expressions or --batch",
+            file=sys.stderr,
+        )
+        return 2
+    if args.given and not args.mpe:
+        print(
+            "error: --given only applies to --mpe; put evidence after the "
+            'bar in the query itself, e.g. "CANCER=yes | SMOKING=smoker"',
+            file=sys.stderr,
+        )
+        return 2
+    if args.kb:
+        kb = ProbabilisticKnowledgeBase.load(args.kb)
+    else:
+        kb = ProbabilisticKnowledgeBase.from_data(_load_table(args.csv))
+    session = kb.session(backend=args.backend)
+    if args.mpe:
+        given = (
+            parse_assignment(kb.schema, args.given) if args.given else None
+        )
+        labels, probability = session.most_probable(given)
+        print(f"most probable explanation (backend: {session.backend.name}):")
+        for name in kb.schema.names:
+            print(f"  {name} = {labels[name]}")
+        print(f"  P = {probability:.6f}")
+        return 0
+    texts = list(args.expressions)
+    if args.batch:
+        lines = Path(args.batch).read_text().splitlines()
+        texts.extend(line.strip() for line in lines if line.strip())
+    if not texts:
+        print("no queries given; pass expressions, --batch FILE, or --mpe")
+        return 2
+    values = session.batch(texts)
+    for text, value in zip(texts, values):
+        print(f"{session.compile(text).description} = {value:.6f}")
     return 0
 
 

@@ -5,23 +5,30 @@
 >>> kb = ProbabilisticKnowledgeBase.from_data(table)
 >>> kb.query("CANCER=yes | SMOKING=smoker")
 0.186...
+>>> kb.p("CANCER=yes").given("SMOKING=smoker").value()
+0.186...
+>>> kb.query_many(["CANCER=yes", "CANCER=yes | SMOKING=smoker"])
+[0.126..., 0.186...]
 >>> kb.rules(min_probability=0.6).describe()
 'IF ...'
 
 It bundles the discovery result (model + adopted constraints + audit
-trace), the query engine, and rule generation, and round-trips through
-JSON so an acquired knowledge base can ship without its training data.
+trace), query sessions (compiled plans, memoized marginals, pluggable
+inference backends — see :mod:`repro.api`), and rule generation, and
+round-trips through versioned JSON so an acquired knowledge base can ship
+without its training data.
 """
 
 from __future__ import annotations
 
 import json
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.query import QueryEngine
+from repro.core.query import Query
 from repro.core.rules import RuleGenerator, RuleSet
 from repro.data.contingency import ContingencyTable
 from repro.data.dataset import Dataset
@@ -33,7 +40,19 @@ from repro.exceptions import DataError
 from repro.maxent.constraints import CellConstraint
 from repro.maxent.model import MaxEntModel
 
+if TYPE_CHECKING:
+    # Imported lazily at runtime: repro.api pulls in repro.core.query, and a
+    # module-level import here would close an import cycle through the
+    # package __init__.
+    from repro.api.builder import ProbabilityExpression
+    from repro.api.session import QuerySession
+
 Assignment = Mapping[str, str | int]
+
+# Serialization format history:
+#   1 — original layout, no version field (accepted on read, migrated).
+#   2 — identical layout plus the explicit "format_version" marker.
+FORMAT_VERSION = 2
 
 
 class ProbabilisticKnowledgeBase:
@@ -52,7 +71,7 @@ class ProbabilisticKnowledgeBase:
         self.model = model
         self.sample_size = int(sample_size)
         self.discovery = discovery
-        self._queries = QueryEngine(model)
+        self._default_session: QuerySession | None = None
 
     # -- construction -------------------------------------------------------------
 
@@ -88,21 +107,72 @@ class ProbabilisticKnowledgeBase:
     def schema(self):
         return self.model.schema
 
+    def session(
+        self, backend: str = "auto", cache_size: int | None = None
+    ) -> QuerySession:
+        """Open a new query session against this knowledge base's model.
+
+        Sessions compile queries into plans, memoize marginals, and pick an
+        inference backend (``"auto"``, ``"dense"``, ``"elimination"``, or
+        any registered plugin).  The single-query convenience methods below
+        all delegate to a shared default session.
+        """
+        from repro.api.session import QuerySession
+
+        if cache_size is None:
+            return QuerySession(self.model, backend=backend)
+        return QuerySession(self.model, backend=backend, cache_size=cache_size)
+
+    @property
+    def _session(self) -> QuerySession:
+        if self._default_session is None:
+            self._default_session = self.session()
+        return self._default_session
+
     def query(self, text: str) -> float:
         """Evaluate ``"A=x | B=y"`` style query strings."""
-        return self._queries.ask(text)
+        return self._session.ask(text)
+
+    def query_many(
+        self,
+        queries: Iterable[str | Query],
+        backend: str | None = None,
+    ) -> list[float]:
+        """Batch-evaluate many queries, sharing marginal computations.
+
+        With ``backend`` the batch runs in a fresh session on that backend;
+        otherwise it uses the default session (and its warm caches).
+        """
+        if backend is not None:
+            return self.session(backend=backend).batch(queries)
+        return self._session.batch(queries)
 
     def probability(
         self, target: Assignment, given: Assignment | None = None
     ) -> float:
         """``P(target | given)`` with labelled assignments."""
-        return self._queries.probability(target, given)
+        return self._session.probability(target, given)
 
     def distribution(
         self, attribute: str, given: Assignment | None = None
     ) -> dict[str, float]:
         """Conditional distribution of one attribute."""
-        return self._queries.distribution(attribute, given)
+        return self._session.distribution(attribute, given)
+
+    def most_probable(
+        self, given: Assignment | None = None
+    ) -> tuple[dict[str, str], float]:
+        """Most probable complete assignment given the evidence (MPE).
+
+        Returns ``(assignment labels, conditional probability)``.
+        """
+        return self._session.most_probable(given)
+
+    def p(self, target: str) -> "ProbabilityExpression":
+        """Fluent query builder: ``kb.p("A=x").given("B=y").value()``."""
+        from repro.api.builder import ProbabilityExpression
+
+        return ProbabilityExpression(self._session, target)
 
     # -- knowledge ----------------------------------------------------------------
 
@@ -161,8 +231,9 @@ class ProbabilisticKnowledgeBase:
     # -- serialization ------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-ready dict: schema, factors, sample size."""
+        """JSON-ready dict: format version, schema, factors, sample size."""
         return {
+            "format_version": FORMAT_VERSION,
             "schema": schema_to_dict(self.schema),
             "sample_size": self.sample_size,
             "a0": self.model.a0,
@@ -186,7 +257,14 @@ class ProbabilisticKnowledgeBase:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ProbabilisticKnowledgeBase":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        Accepts the current format and every older one (v1 dicts predate
+        the ``format_version`` field and are migrated on read).  Dicts
+        written by a *newer* library version are rejected with a clear
+        error rather than misread.
+        """
+        data = _migrate(data)
         try:
             schema = schema_from_dict(data["schema"])
             margin_factors = {
@@ -224,3 +302,38 @@ class ProbabilisticKnowledgeBase:
     def load(cls, path: str | Path) -> "ProbabilisticKnowledgeBase":
         """Read a knowledge base from a JSON file."""
         return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _migrate_v1_to_v2(data: dict) -> dict:
+    """v1 predates the version field; the payload layout is unchanged."""
+    data = dict(data)
+    data["format_version"] = 2
+    return data
+
+
+# One entry per historical version, applied in sequence on read.
+_MIGRATIONS = {1: _migrate_v1_to_v2}
+
+
+def _migrate(data: dict) -> dict:
+    """Bring a serialized dict up to :data:`FORMAT_VERSION`."""
+    if not isinstance(data, dict):
+        raise DataError(
+            f"malformed knowledge base dict: expected a dict, got "
+            f"{type(data).__name__}"
+        )
+    version = data.get("format_version", 1)
+    if not isinstance(version, int) or isinstance(version, bool) or version < 1:
+        raise DataError(
+            f"malformed knowledge base dict: bad format_version {version!r}"
+        )
+    if version > FORMAT_VERSION:
+        raise DataError(
+            f"knowledge base has format_version {version}, but this "
+            f"library only understands versions up to {FORMAT_VERSION}; "
+            f"upgrade repro to read it"
+        )
+    while version < FORMAT_VERSION:
+        data = _MIGRATIONS[version](data)
+        version = data["format_version"]
+    return data

@@ -1,0 +1,62 @@
+"""Most-probable-explanation (MPE) core: argmax over a restricted joint.
+
+One implementation of the "most likely full situation given what we know"
+query, shared by :class:`~repro.core.query.QueryEngine` and every inference
+backend so the argmax/normalization logic lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.exceptions import QueryError
+
+
+def most_probable_from_restricted(
+    schema: Schema,
+    restricted: np.ndarray,
+    given: Mapping[str, int],
+) -> tuple[dict[str, str], float]:
+    """MPE from a table over the *free* attributes (schema order).
+
+    ``restricted`` holds the (possibly unnormalized) mass of every joint
+    cell consistent with the evidence; ``given`` maps evidence attribute
+    names to value indices.  Returns ``(assignment labels, conditional
+    probability)``.
+    """
+    restricted = np.asarray(restricted)
+    evidence_mass = float(restricted.sum())
+    if evidence_mass <= 0:
+        raise QueryError(
+            f"evidence {schema.labels_of(given)} has zero probability"
+        )
+    flat_argmax = int(np.argmax(restricted))
+    free_names = [n for n in schema.names if n not in given]
+    free_index = (
+        np.unravel_index(flat_argmax, restricted.shape)
+        if restricted.ndim
+        else ()
+    )
+    assignment = dict(given)
+    for name, value in zip(free_names, free_index):
+        assignment[name] = int(value)
+    labels = schema.labels_of(assignment)
+    probability = float(restricted.ravel()[flat_argmax]) / evidence_mass
+    return labels, probability
+
+
+def most_probable_from_joint(
+    schema: Schema,
+    joint: np.ndarray,
+    given: Mapping[str, int],
+) -> tuple[dict[str, str], float]:
+    """MPE by slicing the evidence out of a full joint tensor."""
+    slicer = tuple(
+        given.get(attribute.name, slice(None)) for attribute in schema
+    )
+    return most_probable_from_restricted(
+        schema, np.asarray(joint[slicer]), given
+    )

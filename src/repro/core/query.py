@@ -65,10 +65,22 @@ class Query:
 
     @classmethod
     def parse(cls, schema: Schema, text: str) -> "Query":
-        """Parse ``"A=x | B=y, C=z"`` (the bar and evidence optional)."""
+        """Parse ``"A=x | B=y, C=z"`` (the bar and evidence optional).
+
+        An attribute may not appear on both sides of the bar: ``P(A=x |
+        A=y)`` is contradictory and ``P(A=x | A=x)`` is trivially 1, so
+        both are rejected as almost certainly mistakes.
+        """
         target_text, bar, given_text = text.partition("|")
         target = parse_assignment(schema, target_text)
         given = parse_assignment(schema, given_text) if bar else {}
+        overlap = sorted(set(target) & set(given))
+        if overlap:
+            raise QueryError(
+                f"attributes {overlap} appear in both target and evidence "
+                f"of {text!r}; an attribute may only be queried or "
+                f"conditioned on, not both"
+            )
         return cls(target=target, given=given)
 
     def describe(self) -> str:
@@ -126,32 +138,11 @@ class QueryEngine:
         query of a probabilistic expert system ("what is the most likely
         full situation given what we know?").
         """
-        import numpy as np
+        from repro.core.mpe import most_probable_from_joint
 
         schema = self.model.schema
-        given = dict(given or {})
-        fixed = schema.indices_of(given)
-        joint = self.model.joint()
-        slicer = tuple(
-            fixed.get(attribute.name, slice(None)) for attribute in schema
-        )
-        restricted = np.asarray(joint[slicer])
-        evidence_mass = float(restricted.sum())
-        if evidence_mass <= 0:
-            raise QueryError(f"evidence {given} has zero probability")
-        flat_argmax = int(np.argmax(restricted))
-        free_names = [n for n in schema.names if n not in fixed]
-        free_index = (
-            np.unravel_index(flat_argmax, restricted.shape)
-            if restricted.ndim
-            else ()
-        )
-        assignment = dict(fixed)
-        for name, value in zip(free_names, free_index):
-            assignment[name] = int(value)
-        labels = schema.labels_of(assignment)
-        probability = float(restricted.ravel()[flat_argmax]) / evidence_mass
-        return labels, probability
+        fixed = schema.indices_of(dict(given or {}))
+        return most_probable_from_joint(schema, self.model.joint(), fixed)
 
     def distribution(
         self, name: str, given: Assignment | None = None

@@ -162,18 +162,24 @@ def eliminate_all(
 
 
 def partition_sum(
-    model: MaxEntModel, evidence: Mapping[str, str | int] | None = None
+    model: MaxEntModel,
+    evidence: Mapping[str, str | int] | None = None,
+    factors: Sequence[Factor] | None = None,
 ) -> float:
     """Unnormalized mass consistent with ``evidence`` (Appendix B's 1/a0).
 
     With no evidence this is the full partition sum; the dense identity
     ``partition_sum(m) == m.unnormalized().sum()`` is a test invariant.
+    ``factors`` lets callers serving many queries reuse one
+    :func:`model_factors` decomposition instead of rebuilding it per call.
     """
     schema = model.schema
     fixed = schema.indices_of(evidence or {})
-    factors = [restrict(f, fixed) for f in model_factors(model)]
+    if factors is None:
+        factors = model_factors(model)
+    restricted = [restrict(f, fixed) for f in factors]
     free = [n for n in schema.names if n not in fixed]
-    result = eliminate_all(factors, free)
+    result = eliminate_all(restricted, free)
     return float(result.table)
 
 
@@ -203,11 +209,20 @@ def query(
     return numerator / denominator
 
 
-def marginal(model: MaxEntModel, names: Sequence[str]) -> np.ndarray:
-    """Normalized marginal over ``names`` via elimination (schema order)."""
+def marginal(
+    model: MaxEntModel,
+    names: Sequence[str],
+    factors: Sequence[Factor] | None = None,
+) -> np.ndarray:
+    """Normalized marginal over ``names`` via elimination (schema order).
+
+    ``factors`` optionally reuses a prebuilt :func:`model_factors` list
+    (the factors are only read, never mutated).
+    """
     schema = model.schema
     ordered = schema.canonical_subset(names)
-    factors = model_factors(model)
+    if factors is None:
+        factors = model_factors(model)
     free = [n for n in schema.names if n not in set(ordered)]
     result = eliminate_all(factors, free)
     # Reorder the surviving axes into schema order.

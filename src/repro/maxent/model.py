@@ -222,6 +222,23 @@ class MaxEntModel:
 
     # -- introspection ------------------------------------------------------------
 
+    def fingerprint(self) -> int:
+        """Cheap content hash over every factor, for cache invalidation.
+
+        Inference backends cache expensive artifacts (the dense joint, the
+        factor decomposition) keyed by this value, so a model mutated in
+        place — as the iterative solvers do mid-fit — never serves stale
+        cached answers.
+        """
+        parts: list[object] = [self.a0]
+        for name in self.schema.names:
+            parts.append(self.margin_factors[name].tobytes())
+        for key in sorted(self.cell_factors):
+            parts.append((key, self.cell_factors[key]))
+        for names in sorted(self.table_factors):
+            parts.append((names, self.table_factors[names].tobytes()))
+        return hash(tuple(parts))
+
     def copy(self) -> "MaxEntModel":
         return MaxEntModel(
             self.schema,

@@ -1,0 +1,250 @@
+"""Tests for the inference-backend protocol, registry, and auto selection."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.backends import (
+    DENSE_CELL_LIMIT,
+    DenseBackend,
+    EliminationBackend,
+    InferenceBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+    select_backend,
+    unregister_backend,
+)
+from repro.api.session import QuerySession
+from repro.data.schema import Attribute, Schema
+from repro.discovery.engine import discover
+from repro.exceptions import QueryError
+from repro.maxent.model import MaxEntModel
+
+
+@pytest.fixture
+def model(table):
+    return discover(table).model
+
+
+def wide_schema(width: int) -> Schema:
+    return Schema(
+        [Attribute(f"X{i}", ("a", "b")) for i in range(width)]
+    )
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "dense" in names and "elimination" in names
+
+    def test_unknown_backend_rejected(self, model):
+        with pytest.raises(QueryError, match="unknown inference backend"):
+            create_backend("quantum", model)
+
+    def test_create_by_name(self, model):
+        assert isinstance(create_backend("dense", model), DenseBackend)
+        assert isinstance(
+            create_backend("elimination", model), EliminationBackend
+        )
+
+    def test_custom_backend_plugs_in(self, model):
+        @register_backend
+        class ScaledDense(DenseBackend):
+            name = "scaled-dense"
+
+        try:
+            assert "scaled-dense" in available_backends()
+            backend = create_backend("scaled-dense", model)
+            expected = model.marginal(("CANCER",))
+            assert backend.marginal(("CANCER",)) == pytest.approx(expected)
+            # The whole session stack works through the plugin.
+            session = QuerySession(model, backend="scaled-dense")
+            assert session.ask("CANCER=yes") == pytest.approx(
+                model.probability({"CANCER": "yes"})
+            )
+        finally:
+            unregister_backend("scaled-dense")
+        with pytest.raises(QueryError, match="unknown"):
+            create_backend("scaled-dense", model)
+
+    def test_auto_name_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+
+            @register_backend
+            class Bad(DenseBackend):
+                name = "auto"
+
+    def test_duplicate_name_rejected(self):
+        """A plugin cannot silently replace a built-in backend."""
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_backend
+            class Impostor(EliminationBackend):
+                name = "dense"
+
+        assert isinstance(
+            create_backend("dense", MaxEntModel.uniform(wide_schema(2))),
+            DenseBackend,
+        )
+
+
+class TestAutoSelection:
+    def test_small_schema_picks_dense(self, model):
+        assert select_backend(model) == "dense"
+        assert isinstance(create_backend("auto", model), DenseBackend)
+
+    def test_wide_schema_picks_elimination(self):
+        width = DENSE_CELL_LIMIT.bit_length()  # 2**width > limit
+        model = MaxEntModel.uniform(wide_schema(width))
+        assert select_backend(model) == "elimination"
+        assert isinstance(create_backend("auto", model), EliminationBackend)
+
+    def test_wide_schema_mpe_with_evidence_stays_restricted(self):
+        """Elimination MPE only materializes the free-attribute table."""
+        width = DENSE_CELL_LIMIT.bit_length()
+        schema = wide_schema(width)
+        margins = {a.name: [0.25, 0.75] for a in schema}
+        model = MaxEntModel.independent(schema, margins)
+        backend = EliminationBackend(model)
+        given = {f"X{i}": 0 for i in range(width - 2)}  # pin all but 2
+        labels, probability = backend.most_probable(given)
+        assert all(labels[name] == "a" for name in given)
+        # Free attributes take their individually most likely value.
+        assert labels[f"X{width - 1}"] == "b"
+        assert probability == pytest.approx(0.75 * 0.75)
+
+    def test_none_means_auto(self, model):
+        assert isinstance(create_backend(None, model), DenseBackend)
+
+
+class TestAgreement:
+    def test_marginals_agree_on_paper_model(self, model):
+        dense = DenseBackend(model)
+        factored = EliminationBackend(model)
+        subsets = [
+            ("CANCER",),
+            ("SMOKING", "CANCER"),
+            ("SMOKING", "CANCER", "FAMILY_HISTORY"),
+        ]
+        for names in subsets:
+            np.testing.assert_allclose(
+                dense.marginal(names), factored.marginal(names), atol=1e-12
+            )
+
+    def test_most_probable_agrees(self, model):
+        dense = DenseBackend(model)
+        factored = EliminationBackend(model)
+        labels_free_d, p_free_d = dense.most_probable()
+        labels_free_e, p_free_e = factored.most_probable()
+        assert labels_free_d == labels_free_e
+        assert p_free_d == pytest.approx(p_free_e, rel=1e-12)
+        given = {"SMOKING": 0}
+        labels_d, p_d = dense.most_probable(given)
+        labels_e, p_e = factored.most_probable(given)
+        assert labels_d == labels_e
+        assert p_d == pytest.approx(p_e, rel=1e-12)
+
+
+class TestCacheInvalidation:
+    def test_dense_cache_tracks_inplace_mutation(self, model):
+        backend = DenseBackend(model)
+        before = backend.marginal(("CANCER",)).copy()
+        model.margin_factors["CANCER"] = model.margin_factors["CANCER"] * [
+            2.0,
+            1.0,
+        ]
+        model.normalize()
+        after = backend.marginal(("CANCER",))
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(after, model.marginal(("CANCER",)))
+
+    def test_elimination_cache_tracks_inplace_mutation(self, model):
+        backend = EliminationBackend(model)
+        before = backend.marginal(("SMOKING",)).copy()
+        model.margin_factors["SMOKING"] = model.margin_factors["SMOKING"] * [
+            3.0,
+            1.0,
+            1.0,
+        ]
+        model.normalize()
+        after = backend.marginal(("SMOKING",))
+        assert not np.allclose(before, after)
+        np.testing.assert_allclose(
+            after, model.marginal(("SMOKING",)), atol=1e-12
+        )
+
+    def test_explicit_invalidate(self, model):
+        backend = DenseBackend(model)
+        backend.joint()
+        backend.invalidate()
+        assert backend._joint is None
+
+
+# -- randomized dense/elimination equivalence (hypothesis) --------------------------
+
+
+@st.composite
+def random_models(draw):
+    width = draw(st.integers(min_value=2, max_value=4))
+    cardinalities = [
+        draw(st.integers(min_value=2, max_value=3)) for _ in range(width)
+    ]
+    schema = Schema(
+        [
+            Attribute(f"A{i}", tuple(f"v{j}" for j in range(c)))
+            for i, c in enumerate(cardinalities)
+        ]
+    )
+    margins = {
+        a.name: [
+            draw(
+                st.floats(
+                    min_value=0.05, max_value=1.0, allow_nan=False
+                )
+            )
+            for _ in range(a.cardinality)
+        ]
+        for a in schema
+    }
+    cells = {}
+    if width >= 2:
+        pair = (schema.names[0], schema.names[1])
+        values = tuple(
+            draw(st.integers(min_value=0, max_value=c - 1))
+            for c in cardinalities[:2]
+        )
+        factor = draw(
+            st.floats(min_value=0.1, max_value=4.0, allow_nan=False)
+        )
+        cells[(pair, values)] = factor
+    model = MaxEntModel(schema, margins, cells)
+    model.normalize()
+    return model
+
+
+@given(data=st.data())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_dense_vs_elimination_randomized(data):
+    """Plan evaluation through both backends agrees to 1e-10."""
+    model = data.draw(random_models())
+    schema = model.schema
+    target_attr = schema.attributes[0]
+    target = f"{target_attr.name}={target_attr.values[0]}"
+    evidence_attrs = list(schema.attributes[1:])
+    n_given = data.draw(
+        st.integers(min_value=0, max_value=len(evidence_attrs))
+    )
+    given_terms = [
+        f"{a.name}={a.values[data.draw(st.integers(0, a.cardinality - 1))]}"
+        for a in evidence_attrs[:n_given]
+    ]
+    text = target if not given_terms else f"{target} | {', '.join(given_terms)}"
+    dense = QuerySession(model, backend="dense")
+    factored = QuerySession(model, backend="elimination")
+    assert dense.ask(text) == pytest.approx(factored.ask(text), abs=1e-10)

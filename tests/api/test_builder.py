@@ -1,0 +1,64 @@
+"""Tests for the fluent probability-expression builder."""
+
+import pytest
+
+from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+from repro.exceptions import QueryError
+
+
+@pytest.fixture
+def kb(table):
+    return ProbabilisticKnowledgeBase.from_data(table)
+
+
+class TestBuilder:
+    def test_unconditional(self, kb):
+        assert kb.p("CANCER=yes").value() == pytest.approx(
+            kb.query("CANCER=yes")
+        )
+
+    def test_conditional(self, kb):
+        expression = kb.p("CANCER=yes").given("SMOKING=smoker")
+        assert expression.value() == pytest.approx(
+            kb.query("CANCER=yes | SMOKING=smoker")
+        )
+
+    def test_chained_evidence(self, kb):
+        expression = (
+            kb.p("CANCER=yes").given("SMOKING=smoker").given("FAMILY_HISTORY=yes")
+        )
+        assert expression.value() == pytest.approx(
+            kb.query("CANCER=yes | SMOKING=smoker, FAMILY_HISTORY=yes")
+        )
+
+    def test_float_conversion(self, kb):
+        assert float(kb.p("CANCER=yes")) == pytest.approx(
+            kb.query("CANCER=yes")
+        )
+
+    def test_immutable_extension(self, kb):
+        base = kb.p("CANCER=yes")
+        conditioned = base.given("SMOKING=smoker")
+        assert base.value() == pytest.approx(kb.query("CANCER=yes"))
+        assert conditioned.value() != pytest.approx(base.value())
+
+    def test_plan_exposes_compilation(self, kb):
+        plan = kb.p("CANCER=yes").given("SMOKING=smoker").plan()
+        assert plan.description == "P(CANCER=yes | SMOKING=smoker)"
+
+    def test_repr_shows_query_without_evaluating(self, kb):
+        text = repr(kb.p("CANCER=yes").given("SMOKING=smoker"))
+        assert "CANCER=yes | SMOKING=smoker" in text
+
+    def test_repr_never_raises(self, kb):
+        """Displaying an invalid expression must not throw; only use does."""
+        assert "CANCER=bogus" in repr(kb.p("CANCER=bogus"))
+
+    def test_invalid_expression_raises_on_use(self, kb):
+        expression = kb.p("CANCER=maybe")
+        with pytest.raises(QueryError, match="unknown value"):
+            expression.value()
+
+    def test_overlap_rejected(self, kb):
+        with pytest.raises(QueryError, match="both target and evidence"):
+            kb.p("CANCER=yes").given("CANCER=no").value()

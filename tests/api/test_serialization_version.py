@@ -1,0 +1,79 @@
+"""Tests for the versioned knowledge-base serialization format."""
+
+import json
+
+import pytest
+
+from repro.core.knowledge_base import (
+    FORMAT_VERSION,
+    ProbabilisticKnowledgeBase,
+)
+from repro.exceptions import DataError
+
+QUERIES = [
+    "CANCER=yes",
+    "CANCER=yes | SMOKING=smoker",
+    "CANCER=yes | SMOKING=smoker, FAMILY_HISTORY=yes",
+]
+
+
+@pytest.fixture
+def kb(table):
+    return ProbabilisticKnowledgeBase.from_data(table)
+
+
+class TestFormatVersion:
+    def test_current_version_is_two(self):
+        assert FORMAT_VERSION == 2
+
+    def test_to_dict_stamps_version(self, kb):
+        assert kb.to_dict()["format_version"] == FORMAT_VERSION
+
+    def test_v2_round_trip(self, kb):
+        clone = ProbabilisticKnowledgeBase.from_dict(kb.to_dict())
+        for text in QUERIES:
+            assert clone.query(text) == pytest.approx(
+                kb.query(text), rel=1e-12
+            )
+
+    def test_v1_dict_migrates(self, kb):
+        """A v1 dict is exactly a v2 dict without the version field."""
+        legacy = kb.to_dict()
+        legacy.pop("format_version")
+        clone = ProbabilisticKnowledgeBase.from_dict(legacy)
+        for text in QUERIES:
+            assert clone.query(text) == pytest.approx(
+                kb.query(text), rel=1e-12
+            )
+
+    def test_v1_file_round_trip(self, kb, tmp_path):
+        legacy = kb.to_dict()
+        legacy.pop("format_version")
+        path = tmp_path / "legacy_kb.json"
+        path.write_text(json.dumps(legacy))
+        loaded = ProbabilisticKnowledgeBase.load(path)
+        assert loaded.sample_size == kb.sample_size
+        # Re-saving upgrades the file to the current format.
+        upgraded = tmp_path / "upgraded_kb.json"
+        loaded.save(upgraded)
+        assert (
+            json.loads(upgraded.read_text())["format_version"]
+            == FORMAT_VERSION
+        )
+
+    def test_future_version_rejected(self, kb):
+        data = kb.to_dict()
+        data["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(DataError, match="upgrade repro"):
+            ProbabilisticKnowledgeBase.from_dict(data)
+
+    @pytest.mark.parametrize("bad", ["2", 2.0, 0, -1, None, True])
+    def test_bad_version_rejected(self, kb, bad):
+        data = kb.to_dict()
+        data["format_version"] = bad
+        with pytest.raises(DataError, match="format_version"):
+            ProbabilisticKnowledgeBase.from_dict(data)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(DataError, match="malformed"):
+            ProbabilisticKnowledgeBase.from_dict([1, 2, 3])

@@ -55,6 +55,22 @@ class TestParsing:
         query = Query.parse(schema, "CANCER=yes")
         assert query.given == {}
 
+    def test_conflicting_overlap_rejected(self, schema):
+        with pytest.raises(QueryError, match="both target and evidence"):
+            Query.parse(schema, "CANCER=yes | CANCER=no")
+
+    def test_consistent_overlap_rejected(self, schema):
+        """Even P(A=x | A=x) is refused: it is trivially 1 and almost
+        certainly a mistake."""
+        with pytest.raises(QueryError, match="both target and evidence"):
+            Query.parse(schema, "CANCER=yes | CANCER=yes")
+
+    def test_overlap_among_many_terms_rejected(self, schema):
+        with pytest.raises(QueryError, match="SMOKING"):
+            Query.parse(
+                schema, "SMOKING=smoker | FAMILY_HISTORY=yes, SMOKING=non-smoker"
+            )
+
     def test_describe(self, schema):
         query = Query.parse(schema, "CANCER=yes | SMOKING=smoker")
         assert query.describe() == "P(CANCER=yes | SMOKING=smoker)"

@@ -43,6 +43,81 @@ def test_recovery_command(capsys):
     assert "mml" in output and "chi2" in output and "bic" in output
 
 
+class TestQueryCommand:
+    def test_single_expression(self, capsys):
+        assert main(["query", "CANCER=yes | SMOKING=smoker"]) == 0
+        output = capsys.readouterr().out
+        assert "P(CANCER=yes | SMOKING=smoker) = 0.18" in output
+
+    def test_multiple_expressions(self, capsys):
+        assert main(["query", "CANCER=yes", "FAMILY_HISTORY=yes"]) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert len(output) == 2
+        assert output[0].startswith("P(CANCER=yes) = ")
+
+    def test_backends_agree(self, capsys):
+        text = "CANCER=yes | SMOKING=smoker, FAMILY_HISTORY=yes"
+        assert main(["query", text, "--backend", "dense"]) == 0
+        dense = capsys.readouterr().out
+        assert main(["query", text, "--backend", "elimination"]) == 0
+        elimination = capsys.readouterr().out
+        assert dense == elimination
+
+    def test_batch_file(self, capsys, tmp_path):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("CANCER=yes\n\nCANCER=yes | SMOKING=smoker\n")
+        assert main(["query", "--batch", str(batch)]) == 0
+        output = capsys.readouterr().out.strip().splitlines()
+        assert len(output) == 2
+
+    def test_mpe(self, capsys):
+        assert main(["query", "--mpe", "--given", "SMOKING=smoker"]) == 0
+        output = capsys.readouterr().out
+        assert "most probable explanation" in output
+        assert "SMOKING = smoker" in output
+        assert "CANCER = no" in output
+        assert "P = " in output
+
+    def test_saved_kb(self, capsys, tmp_path):
+        from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+        from repro.eval.paper import paper_table
+
+        kb = ProbabilisticKnowledgeBase.from_data(paper_table())
+        path = tmp_path / "kb.json"
+        kb.save(path)
+        assert main(["query", "CANCER=yes", "--kb", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "P(CANCER=yes) = " in output
+
+    def test_no_queries_errors(self, capsys):
+        assert main(["query"]) == 2
+        assert "no queries" in capsys.readouterr().out
+
+    def test_bad_backend_rejected_before_fitting(self, capsys):
+        assert main(["query", "CANCER=yes", "--backend", "quantum"]) == 2
+        assert "unknown inference backend" in capsys.readouterr().err
+
+    def test_overlap_reports_cleanly(self, capsys):
+        assert main(["query", "CANCER=yes | CANCER=no"]) == 1
+        assert "both target and evidence" in capsys.readouterr().err
+
+    def test_missing_batch_file_reports_cleanly(self, capsys):
+        assert main(["query", "--batch", "/nonexistent/queries.txt"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_kb_file_reports_cleanly(self, capsys):
+        assert main(["query", "CANCER=yes", "--kb", "/nonexistent.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_mpe_with_expressions_rejected(self, capsys):
+        assert main(["query", "CANCER=yes", "--mpe"]) == 2
+        assert "--mpe" in capsys.readouterr().err
+
+    def test_given_without_mpe_rejected(self, capsys):
+        assert main(["query", "CANCER=yes", "--given", "SMOKING=smoker"]) == 2
+        assert "--given" in capsys.readouterr().err
+
+
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
