@@ -23,6 +23,14 @@ backend::
     session = kb.session(backend="auto")      # dense | elimination | plugin
     session.batch(["CANCER=yes", "CANCER=yes | SMOKING=smoker"])
     session.most_probable({"SMOKING": "smoker"})
+
+Data keeps arriving?  Update in place — discovery reruns warm-started from
+the current constraints and ``a`` values, and open sessions pick up the
+refreshed model through its fingerprint::
+
+    kb.update(next_batch)                     # Revision(mode='warm', ...)
+    live = LiveKnowledgeBase.from_data(first_window,
+                                       policy=UpdatePolicy(every_n=5000))
 """
 
 from repro.api.backends import (
@@ -35,14 +43,23 @@ from repro.api.backends import (
 from repro.api.plan import QueryPlan, compile_query
 from repro.api.session import QuerySession
 from repro.core.inference import RuleEngine
-from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+from repro.core.knowledge_base import ProbabilisticKnowledgeBase, Revision
 from repro.core.query import Query, QueryEngine
 from repro.core.rules import Rule, RuleGenerator, RuleSet
 from repro.data.contingency import ContingencyTable
 from repro.data.dataset import Dataset
 from repro.data.schema import Attribute, Schema
+from repro.data.streaming import TableBuilder
 from repro.discovery.config import DiscoveryConfig
-from repro.discovery.engine import DiscoveryEngine, discover
+from repro.discovery.engine import DiscoveryEngine, discover, rediscover
+from repro.estimators import (
+    DiscoveryEstimator,
+    Estimator,
+    UpdateReport,
+    available_estimators,
+    create_estimator,
+    register_estimator,
+)
 from repro.eval.paper import paper_schema, paper_table
 from repro.exceptions import (
     ConstraintError,
@@ -51,15 +68,17 @@ from repro.exceptions import (
     QueryError,
     ReproError,
     SchemaError,
+    StaleConstraintError,
 )
+from repro.lifecycle import LiveKnowledgeBase, UpdatePolicy
 from repro.maxent.constraints import CellConstraint, ConstraintSet
 from repro.maxent.dual import fit_dual
 from repro.maxent.gevarter import fit_gevarter
-from repro.maxent.ipf import fit_ipf
+from repro.maxent.ipf import fit_ipf, warm_start_model
 from repro.maxent.model import MaxEntModel
 from repro.significance.mml import MMLPriors, evaluate_cell, scan_order
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
@@ -73,8 +92,11 @@ __all__ = [
     "DenseBackend",
     "DiscoveryConfig",
     "DiscoveryEngine",
+    "DiscoveryEstimator",
     "EliminationBackend",
+    "Estimator",
     "InferenceBackend",
+    "LiveKnowledgeBase",
     "MMLPriors",
     "MaxEntModel",
     "ProbabilisticKnowledgeBase",
@@ -84,14 +106,21 @@ __all__ = [
     "QueryPlan",
     "QuerySession",
     "ReproError",
+    "Revision",
     "Rule",
     "RuleEngine",
     "RuleGenerator",
     "RuleSet",
     "Schema",
     "SchemaError",
+    "StaleConstraintError",
+    "TableBuilder",
+    "UpdatePolicy",
+    "UpdateReport",
     "available_backends",
+    "available_estimators",
     "compile_query",
+    "create_estimator",
     "discover",
     "evaluate_cell",
     "fit_dual",
@@ -99,6 +128,9 @@ __all__ = [
     "fit_ipf",
     "paper_schema",
     "paper_table",
+    "rediscover",
     "register_backend",
+    "register_estimator",
     "scan_order",
+    "warm_start_model",
 ]

@@ -7,7 +7,8 @@ Usage::
     repro table1             # Table 1 significance scan
     repro table2             # Table 2 a-value iteration
     repro discover           # full Figure-3 run on the paper data
-    repro discover --csv data.csv   # ... on your own data
+    repro discover --csv data.csv --save kb.json   # fit and save (format 3)
+    repro update --kb kb.json --csv delta.csv      # warm-started update
     repro rules              # IF-THEN rules from the paper data
     repro recovery           # A1 selector-recovery ablation
     repro query "CANCER=yes | SMOKING=smoker"   # probability queries
@@ -52,6 +53,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     discover_parser.add_argument(
         "--max-order", type=int, default=None, help="highest order to scan"
+    )
+    discover_parser.add_argument(
+        "--save",
+        help=(
+            "save the fitted knowledge base (format 3, with the audit "
+            "trail, so it can be updated later with 'repro update')"
+        ),
+    )
+
+    update_parser = subparsers.add_parser(
+        "update",
+        help="absorb new data into a saved knowledge base (warm-started)",
+    )
+    update_parser.add_argument(
+        "--kb", required=True, help="saved knowledge-base JSON to update"
+    )
+    update_parser.add_argument(
+        "--csv", required=True, help="CSV dataset with the new observations"
+    )
+    update_parser.add_argument(
+        "--save",
+        help="where to write the updated knowledge base (default: --kb)",
     )
 
     rules_parser = subparsers.add_parser(
@@ -133,8 +156,16 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "discover":
         table = _load_table(args.csv)
         config = DiscoveryConfig(max_order=args.max_order)
-        result = discover(table, config)
-        print(result.summary())
+        if args.save:
+            kb = ProbabilisticKnowledgeBase.from_data(table, config)
+            print(kb.discovery.summary())
+            kb.save(args.save)
+            print(f"knowledge base saved to {args.save}")
+        else:
+            result = discover(table, config)
+            print(result.summary())
+    elif args.command == "update":
+        return _run_update(args)
     elif args.command == "rules":
         table = _load_table(args.csv)
         kb = ProbabilisticKnowledgeBase.from_data(table)
@@ -176,6 +207,53 @@ def main(argv: list[str] | None = None) -> int:
             print(generate_report())
     elif args.command == "query":
         return _run_query(args)
+    return 0
+
+
+def _run_update(args) -> int:
+    import json
+
+    from repro.exceptions import ReproError
+
+    try:
+        return _run_update_inner(args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_update_inner(args) -> int:
+    kb = ProbabilisticKnowledgeBase.load(args.kb)
+    if not kb.can_update:
+        print(
+            f"error: {args.kb} has no discovery audit trail (saved by an "
+            f"older version?); refit with 'repro discover --save' first",
+            file=sys.stderr,
+        )
+        return 2
+    # Read the delta against the knowledge base's own schema so label
+    # mismatches fail loudly instead of being re-inferred differently.
+    delta = read_dataset_csv(args.csv, schema=kb.schema)
+    revision = kb.update(delta)
+    print(
+        f"revision {revision.number} ({revision.mode}): absorbed "
+        f"{revision.added_samples} samples, N={revision.sample_size}"
+    )
+    for names, values in revision.constraints_added:
+        labels = ", ".join(
+            f"{n}={kb.schema.attribute(n).value_at(v)}"
+            for n, v in zip(names, values)
+        )
+        print(f"  + constraint P({labels})")
+    for names, values in revision.constraints_dropped:
+        labels = ", ".join(
+            f"{n}={kb.schema.attribute(n).value_at(v)}"
+            for n, v in zip(names, values)
+        )
+        print(f"  - constraint P({labels})")
+    destination = args.save or args.kb
+    kb.save(destination)
+    print(f"updated knowledge base saved to {destination}")
     return 0
 
 

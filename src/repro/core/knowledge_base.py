@@ -1,4 +1,4 @@
-"""The public facade: fit once, then query / extract rules / serialize.
+"""The public facade: fit, query, update as new data lands, serialize.
 
 :class:`ProbabilisticKnowledgeBase` is what a downstream user touches:
 
@@ -7,22 +7,31 @@
 0.186...
 >>> kb.p("CANCER=yes").given("SMOKING=smoker").value()
 0.186...
->>> kb.query_many(["CANCER=yes", "CANCER=yes | SMOKING=smoker"])
-[0.126..., 0.186...]
+>>> kb.update(next_batch)            # warm-started rediscovery
+Revision(number=1, mode='warm', ...)
 >>> kb.rules(min_probability=0.6).describe()
 'IF ...'
 
 It bundles the discovery result (model + adopted constraints + audit
 trace), query sessions (compiled plans, memoized marginals, pluggable
-inference backends — see :mod:`repro.api`), and rule generation, and
-round-trips through versioned JSON so an acquired knowledge base can ship
-without its training data.
+inference backends — see :mod:`repro.api`), rule generation, and the
+incremental lifecycle: :meth:`update` absorbs a delta batch through the
+``discovery`` estimator's warm-start path and swaps the refined factors
+into the *same* model object, so every open session self-invalidates via
+:meth:`~repro.maxent.model.MaxEntModel.fingerprint` instead of being
+rebuilt.  Versioned JSON round-trips the model — and, since format 3, the
+discovery audit trail and revision history, which is what keeps a loaded
+knowledge base updatable.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import os
+import tempfile
 from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -33,11 +42,21 @@ from repro.core.rules import RuleGenerator, RuleSet
 from repro.data.contingency import ContingencyTable
 from repro.data.dataset import Dataset
 from repro.data.io import schema_from_dict, schema_to_dict
+from repro.data.streaming import TableBuilder
 from repro.discovery.config import DiscoveryConfig
-from repro.discovery.engine import discover
-from repro.discovery.trace import DiscoveryResult
+from repro.discovery.trace import (
+    DiscoveryResult,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.estimators.discovery import DiscoveryEstimator
 from repro.exceptions import DataError
-from repro.maxent.constraints import CellConstraint
+from repro.maxent.constraints import (
+    CellConstraint,
+    CellKey,
+    cellkey_from_dict,
+    cellkey_to_dict,
+)
 from repro.maxent.model import MaxEntModel
 
 if TYPE_CHECKING:
@@ -52,7 +71,67 @@ Assignment = Mapping[str, str | int]
 # Serialization format history:
 #   1 — original layout, no version field (accepted on read, migrated).
 #   2 — identical layout plus the explicit "format_version" marker.
-FORMAT_VERSION = 2
+#   3 — adds the revision history and (when available) the discovery audit
+#       trail with its training table, making loaded KBs updatable.
+FORMAT_VERSION = 3
+
+
+@dataclass(frozen=True)
+class Revision:
+    """One entry of a knowledge base's lifecycle history.
+
+    Attributes
+    ----------
+    number:
+        0 for the initial fit, then 1, 2, ... per update.
+    mode:
+        ``"initial"`` (first fit), ``"warm"`` (incremental rediscovery),
+        ``"cold"`` (full refit fallback), or ``"noop"`` (empty delta).
+    sample_size:
+        Total samples behind the model after this revision.
+    added_samples:
+        Samples this revision absorbed.
+    constraints_added / constraints_dropped:
+        Cell-constraint keys that appeared / disappeared in this revision.
+    """
+
+    number: int
+    mode: str
+    sample_size: int
+    added_samples: int
+    constraints_added: tuple[CellKey, ...] = field(default=())
+    constraints_dropped: tuple[CellKey, ...] = field(default=())
+
+    def to_dict(self) -> dict:
+        return {
+            "number": self.number,
+            "mode": self.mode,
+            "sample_size": self.sample_size,
+            "added_samples": self.added_samples,
+            "constraints_added": [
+                cellkey_to_dict(key) for key in self.constraints_added
+            ],
+            "constraints_dropped": [
+                cellkey_to_dict(key) for key in self.constraints_dropped
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Revision":
+        return cls(
+            number=int(data["number"]),
+            mode=str(data["mode"]),
+            sample_size=int(data["sample_size"]),
+            added_samples=int(data["added_samples"]),
+            constraints_added=tuple(
+                cellkey_from_dict(item)
+                for item in data.get("constraints_added", [])
+            ),
+            constraints_dropped=tuple(
+                cellkey_from_dict(item)
+                for item in data.get("constraints_dropped", [])
+            ),
+        )
 
 
 class ProbabilisticKnowledgeBase:
@@ -67,11 +146,14 @@ class ProbabilisticKnowledgeBase:
         model: MaxEntModel,
         sample_size: int,
         discovery: DiscoveryResult | None = None,
+        revisions: list[Revision] | None = None,
     ):
         self.model = model
         self.sample_size = int(sample_size)
         self.discovery = discovery
+        self.revisions: list[Revision] = list(revisions or [])
         self._default_session: QuerySession | None = None
+        self._estimator: DiscoveryEstimator | None = None
 
     # -- construction -------------------------------------------------------------
 
@@ -91,8 +173,27 @@ class ProbabilisticKnowledgeBase:
                 f"from_data expects a Dataset or ContingencyTable, got "
                 f"{type(data).__name__}"
             )
-        result = discover(table, config)
-        return cls(result.model, table.total, discovery=result)
+        estimator = DiscoveryEstimator(config)
+        estimator.fit(table)
+        result = estimator.result
+        kb = cls(
+            result.model,
+            table.total,
+            discovery=result,
+            revisions=[
+                Revision(
+                    number=0,
+                    mode="initial",
+                    sample_size=table.total,
+                    added_samples=table.total,
+                    constraints_added=tuple(
+                        cell.key for cell in result.found
+                    ),
+                )
+            ],
+        )
+        kb._estimator = estimator
+        return kb
 
     @classmethod
     def from_model(
@@ -174,6 +275,91 @@ class ProbabilisticKnowledgeBase:
 
         return ProbabilityExpression(self._session, target)
 
+    # -- incremental lifecycle -----------------------------------------------------
+
+    @property
+    def can_update(self) -> bool:
+        """True when this knowledge base can absorb new data.
+
+        Requires the training table — held by the estimator behind
+        :meth:`from_data`, or carried in a format-3 file's discovery trace.
+        """
+        return self._estimator is not None or (
+            self.discovery is not None and self.discovery.table is not None
+        )
+
+    def _require_estimator(self) -> DiscoveryEstimator:
+        if self._estimator is None:
+            if self.discovery is None:
+                raise DataError(
+                    "this knowledge base cannot be updated: it has no "
+                    "discovery trace (built with from_model, or loaded from "
+                    "a pre-format-3 file); refit with from_data or load a "
+                    "format-3 file saved with its audit trail"
+                )
+            self._estimator = DiscoveryEstimator.from_result(self.discovery)
+        return self._estimator
+
+    def update(self, data) -> Revision:
+        """Absorb a batch of new observations into the fitted model.
+
+        ``data`` may be a :class:`ContingencyTable`, :class:`Dataset`, or
+        an iterable of samples/records (use :meth:`ingest` for a
+        :class:`TableBuilder`).  The delta is merged into the training
+        table and discovery reruns warm-started from the current
+        constraints and ``a`` values, falling back to a cold refit when
+        the new data contradict an old constraint.  The refined factors
+        are swapped into the *same* model object, so open sessions and
+        backend caches self-invalidate through
+        :meth:`~repro.maxent.model.MaxEntModel.fingerprint` on their next
+        operation.  Returns the appended :class:`Revision`.
+        """
+        if isinstance(data, TableBuilder):
+            # A builder passed here would be re-absorbed in full on every
+            # call (update does not reset it) — a silent double-count.
+            raise DataError(
+                "pass a TableBuilder to ingest(), which absorbs its counts "
+                "and resets it; or pass builder.snapshot() for a one-off "
+                "copy"
+            )
+        estimator = self._require_estimator()
+        before_n = self.sample_size
+        report = estimator.update(data)
+        if report.mode != "noop":
+            result = estimator.result
+            self.model.absorb(result.model)
+            # Keep one model object end to end: the result (and therefore
+            # the estimator's next warm start) now points at the live,
+            # just-refreshed model the sessions hold.
+            result.model = self.model
+            self.discovery = result
+            self.sample_size = estimator.table.total
+        revision = Revision(
+            number=len(self.revisions),
+            mode=report.mode,
+            sample_size=self.sample_size,
+            added_samples=self.sample_size - before_n,
+            constraints_added=report.added,
+            constraints_dropped=report.dropped,
+        )
+        self.revisions.append(revision)
+        return revision
+
+    def ingest(self, builder: TableBuilder) -> Revision:
+        """Absorb a :class:`TableBuilder`'s accumulated counts and reset it.
+
+        The builder keeps its schema and goes back to zero so it can keep
+        accumulating the next window while this knowledge base serves the
+        refreshed model.
+        """
+        if not isinstance(builder, TableBuilder):
+            raise DataError(
+                f"ingest expects a TableBuilder, got {type(builder).__name__}"
+            )
+        revision = self.update(builder.snapshot())
+        builder.reset()
+        return revision
+
     # -- knowledge ----------------------------------------------------------------
 
     @property
@@ -230,8 +416,23 @@ class ProbabilisticKnowledgeBase:
 
     # -- serialization ------------------------------------------------------------
 
-    def to_dict(self) -> dict:
-        """JSON-ready dict: format version, schema, factors, sample size."""
+    def to_dict(self, include_audit: bool = True) -> dict:
+        """JSON-ready dict: version, schema, factors, audit trail, history.
+
+        The discovery block (training table, adopted constraints, config,
+        every scan with its Table-1 test rows) ships by default, so the
+        saved file is a complete audit record — and stays updatable after
+        :meth:`load`.  Pass ``include_audit=False`` to omit it: the file
+        then carries only the fitted model (the pre-format-3 "ship
+        without the training data" shape — smaller, discloses no counts,
+        but no longer updatable after loading).
+        """
+        if not include_audit:
+            discovery = None
+        elif self.discovery is not None:
+            discovery = result_to_dict(self.discovery)
+        else:
+            discovery = None
         return {
             "format_version": FORMAT_VERSION,
             "schema": schema_to_dict(self.schema),
@@ -253,6 +454,8 @@ class ProbabilisticKnowledgeBase:
                 {"attributes": list(names), "a": array.tolist()}
                 for names, array in self.model.table_factors.items()
             ],
+            "revisions": [revision.to_dict() for revision in self.revisions],
+            "discovery": discovery,
         }
 
     @classmethod
@@ -290,13 +493,58 @@ class ProbabilisticKnowledgeBase:
                 table_factors=table_factors,
             )
             sample_size = int(data["sample_size"])
+            revisions = [
+                Revision.from_dict(item)
+                for item in data.get("revisions", [])
+            ]
+            discovery_data = data.get("discovery")
+            discovery = (
+                result_from_dict(discovery_data, model)
+                if discovery_data is not None
+                else None
+            )
         except (KeyError, TypeError, ValueError) as error:
             raise DataError(f"malformed knowledge base dict: {error}") from None
-        return cls.from_model(model, sample_size)
+        return cls(
+            model, sample_size, discovery=discovery, revisions=revisions
+        )
 
-    def save(self, path: str | Path) -> None:
-        """Write the knowledge base to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+    def save(self, path: str | Path, include_audit: bool = True) -> None:
+        """Write the knowledge base to a JSON file, atomically.
+
+        The write goes to a temporary sibling file and is renamed into
+        place, so a crash mid-write cannot truncate an existing file —
+        which, since format 3 carries the training table, may be the only
+        copy of the accumulated data.  ``include_audit=False`` writes the
+        model only — see :meth:`to_dict` for the trade-off.
+        """
+        path = Path(path)
+        payload = json.dumps(
+            self.to_dict(include_audit=include_audit), indent=2
+        )
+        # A unique temp name per call: concurrent savers must not share
+        # one scratch file, or the rename could install interleaved JSON.
+        descriptor, temporary = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(payload)
+            # mkstemp creates 0600 scratch files; keep the destination's
+            # existing permissions (or a fresh umask-honoring default)
+            # instead of silently tightening them on every resave.
+            try:
+                mode = path.stat().st_mode & 0o777
+            except FileNotFoundError:
+                current_umask = os.umask(0)
+                os.umask(current_umask)
+                mode = 0o666 & ~current_umask
+            os.chmod(temporary, mode)
+            os.replace(temporary, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temporary)
+            raise
 
     @classmethod
     def load(cls, path: str | Path) -> "ProbabilisticKnowledgeBase":
@@ -311,8 +559,17 @@ def _migrate_v1_to_v2(data: dict) -> dict:
     return data
 
 
+def _migrate_v2_to_v3(data: dict) -> dict:
+    """v2 carried no lifecycle data: empty history, no audit trail."""
+    data = dict(data)
+    data["format_version"] = 3
+    data.setdefault("revisions", [])
+    data.setdefault("discovery", None)
+    return data
+
+
 # One entry per historical version, applied in sequence on read.
-_MIGRATIONS = {1: _migrate_v1_to_v2}
+_MIGRATIONS = {1: _migrate_v1_to_v2, 2: _migrate_v2_to_v3}
 
 
 def _migrate(data: dict) -> dict:

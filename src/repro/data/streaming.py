@@ -3,7 +3,13 @@
 The paper's data sources (surveys, telemetry downlinks) arrive over time;
 a :class:`TableBuilder` accumulates batches of samples, records, tables or
 datasets into one contingency table without keeping raw samples around,
-and can hand out snapshots for interim discovery runs.
+and can hand out snapshots for interim discovery runs.  Shard accumulators
+(one builder per ingest worker) combine with :meth:`TableBuilder.merge`.
+
+Every path that accepts schema-bearing data validates compatibility —
+attribute names *and* per-attribute category sets — and reports exactly
+what differs, so a mis-wired feed fails loudly instead of tallying counts
+into the wrong cells.
 """
 
 from __future__ import annotations
@@ -18,6 +24,40 @@ from repro.data.schema import Schema
 from repro.exceptions import DataError
 
 
+def describe_schema_mismatch(expected: Schema, got: Schema) -> str:
+    """Human-readable diff between two schemas (names and category sets).
+
+    Returns an empty string when the schemas are equal.
+    """
+    if expected == got:
+        return ""
+    problems: list[str] = []
+    expected_names = set(expected.names)
+    got_names = set(got.names)
+    missing = [n for n in expected.names if n not in got_names]
+    unexpected = [n for n in got.names if n not in expected_names]
+    if missing:
+        problems.append(f"missing attributes {missing}")
+    if unexpected:
+        problems.append(f"unexpected attributes {unexpected}")
+    if not missing and not unexpected and expected.names != got.names:
+        problems.append(
+            f"attribute order differs: expected {list(expected.names)}, "
+            f"got {list(got.names)}"
+        )
+    for name in expected.names:
+        if name not in got_names:
+            continue
+        ours = expected.attribute(name).values
+        theirs = got.attribute(name).values
+        if ours != theirs:
+            problems.append(
+                f"attribute {name!r} categories differ: expected "
+                f"{list(ours)}, got {list(theirs)}"
+            )
+    return "; ".join(problems)
+
+
 class TableBuilder:
     """Accumulates observations into a contingency table."""
 
@@ -25,6 +65,15 @@ class TableBuilder:
         self.schema = schema
         self._counts = np.zeros(schema.shape, dtype=np.int64)
         self._batches = 0
+
+    def _require_compatible(self, other: Schema, what: str) -> None:
+        """Raise a :class:`DataError` naming every schema difference."""
+        mismatch = describe_schema_mismatch(self.schema, other)
+        if mismatch:
+            raise DataError(
+                f"{what} schema is incompatible with the builder schema: "
+                f"{mismatch}"
+            )
 
     @property
     def total(self) -> int:
@@ -51,7 +100,18 @@ class TableBuilder:
         self._batches += 1
 
     def add_record(self, record: Mapping[str, str | int]) -> None:
-        """Tally one dict record ``{attribute name: value}``."""
+        """Tally one dict record ``{attribute name: value}``.
+
+        Every schema attribute must be present (a missing one would be a
+        miscount); keys the schema does not name — timestamps, frame ids,
+        other metadata riding along with a telemetry record — are ignored.
+        """
+        missing = [n for n in self.schema.names if n not in record]
+        if missing:
+            raise DataError(
+                f"record is missing attributes {missing}; schema expects "
+                f"{list(self.schema.names)}"
+            )
         self.add_sample([record[name] for name in self.schema.names])
 
     def add_samples(self, samples: Iterable[Sequence[str | int]]) -> None:
@@ -62,17 +122,30 @@ class TableBuilder:
 
     def add_dataset(self, dataset: Dataset) -> None:
         """Absorb a whole dataset."""
-        if dataset.schema != self.schema:
-            raise DataError("dataset schema does not match builder schema")
+        self._require_compatible(dataset.schema, "dataset")
         self._counts += dataset.to_contingency().counts
         self._batches += 1
 
     def add_table(self, table: ContingencyTable) -> None:
         """Merge another contingency table (e.g. from another site)."""
-        if table.schema != self.schema:
-            raise DataError("table schema does not match builder schema")
+        self._require_compatible(table.schema, "table")
         self._counts += table.counts
         self._batches += 1
+
+    def merge(self, other: "TableBuilder") -> None:
+        """Absorb another builder's accumulated counts (shard combining).
+
+        The other builder is left untouched; its counts are added to this
+        one's.  Use this to combine per-worker accumulators before an
+        update or interim discovery run.
+        """
+        if not isinstance(other, TableBuilder):
+            raise DataError(
+                f"merge expects a TableBuilder, got {type(other).__name__}"
+            )
+        self._require_compatible(other.schema, "merged builder")
+        self._counts += other._counts
+        self._batches += other._batches
 
     def snapshot(self) -> ContingencyTable:
         """Current accumulated table (a copy; the builder keeps counting)."""

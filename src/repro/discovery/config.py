@@ -5,7 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import DataError
-from repro.maxent.constraints import CellConstraint
+from repro.maxent.constraints import (
+    CellConstraint,
+    cellkey_from_dict,
+    cellkey_to_dict,
+)
 from repro.significance.mml import MMLPriors
 
 #: Solver names accepted by :class:`DiscoveryConfig`.
@@ -68,3 +72,51 @@ class DiscoveryConfig:
             raise DataError(f"tol must be positive, got {self.tol}")
         if self.max_sweeps < 1:
             raise DataError(f"max_sweeps must be >= 1, got {self.max_sweeps}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (round-tripped in the knowledge-base format)."""
+        return {
+            "max_order": self.max_order,
+            "priors": {
+                "p_h1": self.priors.p_h1,
+                "p_h2_prime": self.priors.p_h2_prime,
+            },
+            "solver": self.solver,
+            "tol": self.tol,
+            "max_sweeps": self.max_sweeps,
+            "max_constraints": self.max_constraints,
+            "given_constraints": [
+                {
+                    **cellkey_to_dict(given.key),
+                    "probability": given.probability,
+                }
+                for given in self.given_constraints
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiscoveryConfig":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            priors = data.get("priors") or {}
+            return cls(
+                max_order=data.get("max_order"),
+                priors=MMLPriors(
+                    p_h1=float(priors.get("p_h1", 0.5)),
+                    p_h2_prime=float(priors.get("p_h2_prime", 0.5)),
+                ),
+                solver=data.get("solver", "ipf"),
+                tol=float(data.get("tol", 1e-10)),
+                max_sweeps=int(data.get("max_sweeps", 500)),
+                max_constraints=data.get("max_constraints"),
+                given_constraints=tuple(
+                    CellConstraint(
+                        *cellkey_from_dict(item), float(item["probability"])
+                    )
+                    for item in data.get("given_constraints", [])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise DataError(
+                f"malformed discovery config dict: {error}"
+            ) from None

@@ -1,4 +1,4 @@
-"""The discovery loop of Figure 3.
+"""The discovery loop of Figure 3, plus warm-started rediscovery.
 
 Starting from the independence model (first-order margins only), the engine
 scans every marginal cell at order 2 with the MML test, adopts the most
@@ -6,6 +6,16 @@ significant cell as a new constraint, refits the ``a`` values (warm-started,
 per Figure 4's "starting with the last previously calculated a values"),
 and rescans — until no cell at that order is significant.  It then moves to
 order 3 and so on up to R (or ``config.max_order``).
+
+When data arrives incrementally, :meth:`DiscoveryEngine.rerun` (facade:
+:func:`rediscover`) extends Figure 4's warm start across *revisions*: the
+previous run's adopted constraints are re-imposed — retargeted at the new
+table's observed probabilities — and the fit restarts from the previous
+``a`` values, so only one verification scan per order is needed instead of
+one scan per adoption.  Because the constraint system has a unique positive
+solution, the warm start changes convergence speed, never the fitted model:
+when the constraint set is stable, the rerun lands on exactly the model a
+cold refit of the merged table would.
 """
 
 from __future__ import annotations
@@ -13,12 +23,24 @@ from __future__ import annotations
 from repro.data.contingency import ContingencyTable
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.trace import DiscoveryResult, ScanRecord
-from repro.exceptions import ConstraintError, DataError
+from repro.exceptions import ConstraintError, DataError, StaleConstraintError
 from repro.maxent.constraints import ConstraintSet
 from repro.maxent.gevarter import fit_gevarter
-from repro.maxent.ipf import fit_ipf
+from repro.maxent.ipf import fit_ipf, warm_start_model
 from repro.maxent.model import MaxEntModel
-from repro.significance.mml import most_significant, scan_order
+from repro.significance.mml import evaluate_cell, most_significant, scan_order
+
+__all__ = [
+    "DiscoveryEngine",
+    "StaleConstraintError",
+    "discover",
+    "rediscover",
+]
+
+# Tolerance for the rerun re-verification chain's intermediate fits; the
+# per-order final fit (and therefore the resulting model) always uses the
+# configured tolerance.
+_RERUN_CHAIN_TOL = 1e-5
 
 
 class DiscoveryEngine:
@@ -45,11 +67,138 @@ class DiscoveryEngine:
                 constraints.add_cell(given)
             model = self._fit(constraints, model).model
         self._num_given = len(config.given_constraints)
-        result = DiscoveryResult(table=table, model=model, constraints=constraints)
+        result = DiscoveryResult(
+            table=table, model=model, constraints=constraints, config=config
+        )
 
         highest_order = config.max_order or len(schema)
         highest_order = min(highest_order, len(schema))
         for order in range(2, highest_order + 1):
+            model = self._scan_level(table, order, constraints, model, result)
+        result.model = model
+        return result
+
+    def rerun(
+        self, table: ContingencyTable, previous: DiscoveryResult
+    ) -> DiscoveryResult:
+        """Warm-started rediscovery of an updated table.
+
+        Per order, the previous run's adopted constraints are re-imposed in
+        their original adoption order — each one first re-verified with the
+        MML test against the current intermediate model (the same test a
+        cold greedy run applies at that point, evaluated against a
+        chain-tolerance fit — see below), then retargeted at the
+        new table's observed probability and refitted warm.  The chain
+        starts from the previous revision's fitted *margin* factors
+        (Figure 4's "last previously calculated a values") and evolves
+        like cold discovery's own within-run warm starts; re-adopted cell
+        factors are re-derived from neutral 1.0 seeds — measured faster
+        than carrying the previous final values, which were calculated
+        amid the full constraint set and overshoot in the prefix context.
+        One verification scan per order then checks for newly significant
+        cells, continuing the ordinary greedy loop only where it finds
+        some.
+
+        Because each intermediate fit converges to the unique maxent
+        solution of its constraint set, the warm start changes convergence
+        speed, not answers: the expensive part a rerun skips is the full
+        candidate scan between adoptions, replaced by one test per
+        re-adopted constraint.  When the new data stop supporting an old
+        constraint a :class:`StaleConstraintError` is raised (and a
+        :class:`ConstraintError` when they outright contradict one);
+        callers should fall back to a cold :meth:`run` in either case.
+        A rerun can differ from a cold refit only on near-ties: a flip in
+        the greedy argmax between equally defensible cells, or a
+        constraint whose significance margin is thinner than the
+        intermediate chain fits' loosened tolerance
+        (:data:`_RERUN_CHAIN_TOL`; the per-order final fit, and therefore
+        the resulting model, always uses the configured tolerance).  Both
+        outcomes then satisfy the same termination criterion, but the
+        adopted cells may differ.
+        """
+        if table.total == 0:
+            raise DataError("cannot run rediscovery on an empty table")
+        config = self.config
+        schema = table.schema
+        if schema != previous.constraints.schema:
+            raise DataError(
+                "rediscovery table schema does not match the previous "
+                "discovery's schema"
+            )
+        constraints = ConstraintSet.first_order(table)
+        for given in config.given_constraints:
+            # A-priori constraints keep their given targets; they are
+            # knowledge, not data.
+            constraints.add_cell(given)
+        self._num_given = len(config.given_constraints)
+        model = warm_start_model(constraints, previous.model)
+        result = DiscoveryResult(
+            table=table, model=model, constraints=constraints, config=config
+        )
+        # Sync the first-order factors to the merged table's margins (and
+        # any given constraints) before the first re-verification.  Like
+        # cold discovery's initial model build, this is not a scan; its
+        # sweeps are folded into the first readoption record below.
+        fit = self._fit(constraints, model)
+        model = fit.model
+        carried_sweeps = fit.sweeps
+
+        # The re-verification chain replays cold discovery's adoption
+        # sequence (minus the candidate scans).  Its intermediate models
+        # only feed the per-cell significance tests, so they are fitted at
+        # a looser tolerance; each order then gets one full-tolerance fit,
+        # which is what the verification scan and the final model see.
+        chain_tol = max(config.tol, _RERUN_CHAIN_TOL)
+        highest_order = config.max_order or len(schema)
+        highest_order = min(highest_order, len(schema))
+        previous_cells = previous.constraints.cells
+        for order in range(2, highest_order + 1):
+            readopted: list = []
+            sweeps = carried_sweeps
+            for cell in previous_cells:
+                if cell.order != order or constraints.has_cell(cell.key):
+                    continue
+                if self._at_capacity(constraints):
+                    # Same max_constraints cap the cold loop enforces;
+                    # re-adoption follows the original adoption order, so
+                    # a lowered cap keeps the earliest adoptions.
+                    break
+                test = evaluate_cell(
+                    table,
+                    model,
+                    cell.attributes,
+                    cell.values,
+                    constraints,
+                    config.priors,
+                )
+                if not test.significant:
+                    raise StaleConstraintError(
+                        f"previously adopted constraint {cell.key} is no "
+                        f"longer significant on the updated table "
+                        f"(m2-m1={test.delta:+.3f})"
+                    )
+                retargeted = constraints.cell_from_table(
+                    table, cell.attributes, cell.values
+                )
+                constraints.add_cell(retargeted)
+                fit = self._fit(constraints, model, tol=chain_tol)
+                model = fit.model
+                sweeps += fit.sweeps
+                readopted.append(cell.key)
+            if readopted:
+                fit = self._fit(constraints, model)
+                model = fit.model
+                sweeps += fit.sweeps
+                carried_sweeps = 0
+                result.scans.append(
+                    ScanRecord(
+                        order=order,
+                        tests=[],
+                        chosen=None,
+                        fit_sweeps=sweeps,
+                        readopted=tuple(readopted),
+                    )
+                )
             model = self._scan_level(table, order, constraints, model, result)
         result.model = model
         return result
@@ -98,20 +247,27 @@ class DiscoveryEngine:
                 )
             )
 
-    def _fit(self, constraints: ConstraintSet, warm_start: MaxEntModel):
+    def _fit(
+        self,
+        constraints: ConstraintSet,
+        warm_start: MaxEntModel,
+        tol: float | None = None,
+    ):
         config = self.config
+        if tol is None:
+            tol = config.tol
         if config.solver == "gevarter":
             return fit_gevarter(
                 constraints,
                 initial=warm_start,
-                tol=config.tol,
+                tol=tol,
                 max_sweeps=config.max_sweeps,
                 record_trace=False,
             )
         return fit_ipf(
             constraints,
             initial=warm_start,
-            tol=config.tol,
+            tol=tol,
             max_sweeps=config.max_sweeps,
         )
 
@@ -128,3 +284,15 @@ def discover(
 ) -> DiscoveryResult:
     """Convenience wrapper: run discovery with an optional config."""
     return DiscoveryEngine(config).run(table)
+
+
+def rediscover(
+    table: ContingencyTable,
+    previous: DiscoveryResult,
+    config: DiscoveryConfig | None = None,
+) -> DiscoveryResult:
+    """Warm-started rediscovery of an updated table (see
+    :meth:`DiscoveryEngine.rerun`).  Defaults to the previous run's config.
+    """
+    config = config or previous.config or DiscoveryConfig()
+    return DiscoveryEngine(config).rerun(table, previous)

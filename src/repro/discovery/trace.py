@@ -3,7 +3,14 @@
 Every scan (one pass over the candidate cells at one order) is recorded
 with its full list of :class:`~repro.significance.result.CellTest` rows and
 the chosen constraint, so a run can be replayed, rendered as the paper's
-Table 1, and asserted against in tests.
+Table 1, and asserted against in tests.  Warm-started reruns additionally
+record which previously adopted constraints were re-imposed without a
+fresh scan (:attr:`ScanRecord.readopted`).
+
+The module also serializes the whole trail (:func:`result_to_dict` /
+:func:`result_from_dict`) so a saved knowledge base carries its audit
+records — and its training table, which is what makes a *loaded* knowledge
+base updatable with warm-started rediscovery.
 """
 
 from __future__ import annotations
@@ -11,7 +18,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.data.contingency import ContingencyTable
-from repro.maxent.constraints import CellConstraint, ConstraintSet
+from repro.data.io import table_from_dict, table_to_dict
+from repro.discovery.config import DiscoveryConfig
+from repro.exceptions import DataError
+from repro.maxent.constraints import (
+    CellConstraint,
+    CellKey,
+    ConstraintSet,
+    cellkey_from_dict,
+    cellkey_to_dict,
+)
 from repro.maxent.model import MaxEntModel
 from repro.significance.result import CellTest
 
@@ -21,13 +37,16 @@ class ScanRecord:
     """One scan of all candidate cells at one order.
 
     ``chosen`` is None for the terminating scan at each order (the scan
-    that found nothing significant).
+    that found nothing significant).  ``readopted`` lists constraints a
+    warm-started rerun re-imposed from the previous revision without a
+    scan; such records carry no tests.
     """
 
     order: int
     tests: list[CellTest]
     chosen: CellTest | None
     fit_sweeps: int = 0
+    readopted: tuple[CellKey, ...] = ()
 
     @property
     def significant(self) -> list[CellTest]:
@@ -42,6 +61,7 @@ class DiscoveryResult:
     model: MaxEntModel
     constraints: ConstraintSet
     scans: list[ScanRecord] = field(default_factory=list)
+    config: DiscoveryConfig | None = None
 
     @property
     def found(self) -> tuple[CellConstraint, ...]:
@@ -73,3 +93,137 @@ class DiscoveryResult:
         if not self.found:
             lines.append("  (no significant correlations; attributes look independent)")
         return "\n".join(lines)
+
+
+# -- serialization ------------------------------------------------------------------
+
+
+def _test_to_dict(test: CellTest) -> dict:
+    return {
+        "attributes": list(test.attributes),
+        "values": list(test.values),
+        "observed": test.observed,
+        "predicted_probability": test.predicted_probability,
+        "mean": test.mean,
+        "sd": test.sd,
+        "num_sd": test.num_sd,
+        "m1": test.m1,
+        "m2": test.m2,
+        "determined": test.determined,
+        "feasible_range": test.feasible_range,
+    }
+
+
+def _test_from_dict(data: dict) -> CellTest:
+    return CellTest(
+        attributes=tuple(data["attributes"]),
+        values=tuple(int(v) for v in data["values"]),
+        observed=int(data["observed"]),
+        predicted_probability=float(data["predicted_probability"]),
+        mean=float(data["mean"]),
+        sd=float(data["sd"]),
+        num_sd=float(data["num_sd"]),
+        m1=float(data["m1"]),
+        m2=float(data["m2"]),
+        determined=bool(data["determined"]),
+        feasible_range=int(data["feasible_range"]),
+    )
+
+
+def _scan_to_dict(scan: ScanRecord) -> dict:
+    return {
+        "order": scan.order,
+        "tests": [_test_to_dict(t) for t in scan.tests],
+        # The chosen test is one of ``tests``; store its index, -1 for none.
+        "chosen": scan.tests.index(scan.chosen) if scan.chosen else -1,
+        "fit_sweeps": scan.fit_sweeps,
+        "readopted": [cellkey_to_dict(key) for key in scan.readopted],
+    }
+
+
+def _scan_from_dict(data: dict) -> ScanRecord:
+    tests = [_test_from_dict(item) for item in data["tests"]]
+    chosen_index = int(data["chosen"])
+    return ScanRecord(
+        order=int(data["order"]),
+        tests=tests,
+        chosen=tests[chosen_index] if chosen_index >= 0 else None,
+        fit_sweeps=int(data.get("fit_sweeps", 0)),
+        readopted=tuple(
+            cellkey_from_dict(item) for item in data.get("readopted", [])
+        ),
+    )
+
+
+def _constraints_to_dict(constraints: ConstraintSet) -> dict:
+    return {
+        "margins": {
+            name: constraints.margin(name).tolist()
+            for name in constraints.margin_names
+        },
+        "cells": [
+            {**cellkey_to_dict(cell.key), "probability": cell.probability}
+            for cell in constraints.cells
+        ],
+        "subset_margins": [
+            {"attributes": list(names), "probabilities": array.tolist()}
+            for names, array in constraints.subset_margins.items()
+        ],
+    }
+
+
+def _constraints_from_dict(schema, data: dict) -> ConstraintSet:
+    import numpy as np
+
+    constraints = ConstraintSet(schema)
+    for name, vector in data["margins"].items():
+        constraints.set_margin(name, vector)
+    for item in data["cells"]:
+        constraints.add_cell(
+            CellConstraint(*cellkey_from_dict(item), float(item["probability"]))
+        )
+    for item in data.get("subset_margins", []):
+        constraints.set_subset_margin(
+            item["attributes"], np.asarray(item["probabilities"], dtype=float)
+        )
+    return constraints
+
+
+def result_to_dict(result: DiscoveryResult) -> dict:
+    """JSON-ready dict of the full audit trail (model stored separately).
+
+    The fitted model is *not* included — the knowledge-base format already
+    stores it at top level, and :func:`result_from_dict` re-attaches it.
+    """
+    return {
+        "table": table_to_dict(result.table),
+        "constraints": _constraints_to_dict(result.constraints),
+        "config": result.config.to_dict() if result.config else None,
+        "scans": [_scan_to_dict(scan) for scan in result.scans],
+    }
+
+
+def result_from_dict(data: dict, model: MaxEntModel) -> DiscoveryResult:
+    """Inverse of :func:`result_to_dict`, re-attaching the fitted model."""
+    try:
+        table = table_from_dict(data["table"])
+        if table.schema != model.schema:
+            raise DataError(
+                "discovery trace schema does not match the model schema"
+            )
+        config_data = data.get("config")
+        return DiscoveryResult(
+            table=table,
+            model=model,
+            constraints=_constraints_from_dict(
+                model.schema, data["constraints"]
+            ),
+            scans=[_scan_from_dict(item) for item in data.get("scans", [])],
+            config=(
+                DiscoveryConfig.from_dict(config_data)
+                if config_data is not None
+                else None
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise DataError(f"malformed discovery trace dict: {error}") from None

@@ -1,0 +1,153 @@
+"""Baseline learners behind the Estimator lifecycle.
+
+The count-based baselines (independence, empirical, naive Bayes) are
+closed-form in the accumulated counts, so their ``update`` *is* a refit of
+the merged table — exact and cheap, reported as ``mode="cold"``.  The
+log-linear forward selection is iterative like the paper's engine and gets
+a genuine warm path: previously adopted interaction subsets are re-imposed
+and refitted from the previous factor tables before scanning for new terms.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.empirical import empirical_model
+from repro.baselines.independence import independence_model
+from repro.baselines.loglinear import (
+    LogLinearConfig,
+    LogLinearResult,
+    discover_loglinear,
+)
+from repro.baselines.naive_bayes import NaiveBayesClassifier
+from repro.data.contingency import ContingencyTable
+from repro.estimators.base import Estimator, UpdateReport, register_estimator
+from repro.exceptions import ConstraintError, ConvergenceError, DataError
+from repro.maxent.model import MaxEntModel
+
+
+class _ModelEstimator(Estimator):
+    """Shared plumbing for estimators whose model is rebuilt from counts."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._model = None
+
+    @property
+    def model(self):
+        if self._model is None:
+            raise DataError(
+                f"estimator {self.name!r} is not fitted; call fit() first"
+            )
+        return self._model
+
+
+@register_estimator
+class IndependenceEstimator(_ModelEstimator):
+    """First-order maxent model ``p_ijk = p_i p_j p_k`` (the floor)."""
+
+    name = "independence"
+
+    def _fit(self, table: ContingencyTable) -> None:
+        self._model = independence_model(table)
+
+
+@register_estimator
+class EmpiricalEstimator(_ModelEstimator):
+    """Saturated model: raw (optionally smoothed) relative frequencies."""
+
+    name = "empirical"
+
+    def __init__(self, smoothing: float = 0.0):
+        super().__init__()
+        if smoothing < 0:
+            raise DataError(f"smoothing must be >= 0, got {smoothing}")
+        self.smoothing = smoothing
+
+    def _fit(self, table: ContingencyTable) -> None:
+        self._model = empirical_model(table, smoothing=self.smoothing)
+
+
+@register_estimator
+class NaiveBayesEstimator(_ModelEstimator):
+    """Categorical naive Bayes over the accumulated counts.
+
+    The model is a :class:`~repro.baselines.naive_bayes.NaiveBayesClassifier`
+    (not a maxent model); updates rebuild it from the merged table, which
+    costs one pass over the pairwise marginals.
+    """
+
+    name = "naive_bayes"
+
+    def __init__(self, class_attribute: str, smoothing: float = 1.0):
+        super().__init__()
+        self.class_attribute = class_attribute
+        self.smoothing = smoothing
+
+    @property
+    def model(self) -> NaiveBayesClassifier:
+        return super().model
+
+    def _fit(self, table: ContingencyTable) -> None:
+        if self.class_attribute not in table.schema.names:
+            raise DataError(
+                f"class attribute {self.class_attribute!r} is not in the "
+                f"schema {list(table.schema.names)}"
+            )
+        self._model = NaiveBayesClassifier(
+            table, self.class_attribute, smoothing=self.smoothing
+        )
+
+
+@register_estimator
+class LogLinearEstimator(Estimator):
+    """Cheeseman-style whole-margin selection with warm-started updates.
+
+    Warm updates re-verify every previously adopted interaction term with
+    the G² test before re-imposing it; a term the merged data no longer
+    support triggers a cold re-selection that drops it (reported in
+    :attr:`UpdateReport.dropped`).
+    """
+
+    name = "loglinear"
+
+    def __init__(self, config: LogLinearConfig | None = None):
+        super().__init__()
+        self.config = config or LogLinearConfig()
+        self._result: LogLinearResult | None = None
+
+    @property
+    def result(self) -> LogLinearResult:
+        if self._result is None:
+            raise DataError(
+                "estimator 'loglinear' is not fitted; call fit() first"
+            )
+        return self._result
+
+    @property
+    def model(self) -> MaxEntModel:
+        return self.result.model
+
+    def _fit(self, table: ContingencyTable) -> None:
+        self._result = discover_loglinear(table, self.config)
+
+    def _update(
+        self, merged: ContingencyTable, delta: ContingencyTable
+    ) -> UpdateReport:
+        previous = self.result
+        before = set(previous.constraints.subset_margins)
+        try:
+            result = discover_loglinear(
+                merged, self.config, warm_start=previous
+            )
+            mode = "warm"
+        except (ConstraintError, ConvergenceError):
+            result = discover_loglinear(merged, self.config)
+            mode = "cold"
+        self._result = result
+        after = set(result.constraints.subset_margins)
+        # Whole-margin terms are identified by their attribute subset
+        # alone (see UpdateReport: subset keys for margin estimators).
+        return UpdateReport(
+            mode=mode,
+            added=tuple(sorted(after - before)),
+            dropped=tuple(sorted(before - after)),
+        )

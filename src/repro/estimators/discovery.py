@@ -1,0 +1,118 @@
+"""The discovery engine behind the Estimator lifecycle.
+
+``fit`` runs the full Figure-3 procedure; ``update`` merges the delta and
+reruns discovery *warm-started* from the previous
+:class:`~repro.discovery.trace.DiscoveryResult` — previously adopted
+constraints are re-imposed at their new observed probabilities and the
+solver restarts from the last calculated ``a`` values (Figure 4), so the
+usual streaming batch costs one verification scan and one warm fit per
+order instead of a full greedy rerun.  When the new data contradict an old
+constraint (re-imposition fails), the update falls back to a cold
+rediscovery automatically and reports ``mode="cold"``.
+"""
+
+from __future__ import annotations
+
+from repro.data.contingency import ContingencyTable
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import DiscoveryEngine
+from repro.discovery.trace import DiscoveryResult
+from repro.estimators.base import Estimator, UpdateReport, register_estimator
+from repro.exceptions import ConstraintError, ConvergenceError, DataError
+from repro.maxent.model import MaxEntModel
+from repro.significance.mml import scan_order
+
+
+@register_estimator
+class DiscoveryEstimator(Estimator):
+    """Figure-3 discovery with warm-started incremental updates."""
+
+    name = "discovery"
+
+    def __init__(self, config: DiscoveryConfig | None = None):
+        super().__init__()
+        self.config = config or DiscoveryConfig()
+        self._result: DiscoveryResult | None = None
+
+    @classmethod
+    def from_result(
+        cls, result: DiscoveryResult, config: DiscoveryConfig | None = None
+    ) -> "DiscoveryEstimator":
+        """Rehydrate an estimator from a saved discovery trace.
+
+        This is how a knowledge base loaded from a format-3 file regains
+        the ability to ``update()``: the trace carries the training table
+        and the adopted constraints, which is all warm rediscovery needs.
+        """
+        estimator = cls(config or result.config)
+        estimator._result = result
+        estimator._table = result.table
+        return estimator
+
+    @property
+    def result(self) -> DiscoveryResult:
+        """The current discovery result (model + constraints + audit)."""
+        if self._result is None:
+            raise DataError(
+                "estimator 'discovery' is not fitted; call fit() first"
+            )
+        return self._result
+
+    @property
+    def model(self) -> MaxEntModel:
+        return self.result.model
+
+    def _fit(self, table: ContingencyTable) -> None:
+        self._result = DiscoveryEngine(self.config).run(table)
+
+    def _update(
+        self, merged: ContingencyTable, delta: ContingencyTable
+    ) -> UpdateReport:
+        previous = self.result
+        before = previous.constraints.cell_keys()
+        try:
+            result = DiscoveryEngine(self.config).rerun(merged, previous)
+            mode = "warm"
+        except (ConstraintError, ConvergenceError):
+            # The new data contradict a previously adopted constraint (or
+            # the warm fit cannot converge from the old a values): restart
+            # cold, IC3-style — incremental strengthening where possible,
+            # clean rebuild when the frame breaks.
+            result = DiscoveryEngine(self.config).run(merged)
+            mode = "cold"
+        self._result = result
+        after = result.constraints.cell_keys()
+        return UpdateReport(
+            mode=mode,
+            added=tuple(sorted(after - before)),
+            dropped=tuple(sorted(before - after)),
+        )
+
+
+def scan_for_new_significance(
+    table: ContingencyTable,
+    result: DiscoveryResult,
+    config: DiscoveryConfig | None = None,
+) -> bool:
+    """Probe: would pending data change the discovered structure?
+
+    Scans every order of ``table`` against the *current* model and
+    constraint set and reports whether any unconstrained cell tests
+    significant.  This is a heuristic trigger (the model's targets come
+    from the pre-delta table), meant for update policies that refit on
+    evidence of drift rather than on a sample count.
+    """
+    config = config or result.config or DiscoveryConfig()
+    schema = table.schema
+    highest = min(config.max_order or len(schema), len(schema))
+    for order in range(2, highest + 1):
+        try:
+            tests = scan_order(
+                table, result.model, order, result.constraints, config.priors
+            )
+        except DataError:
+            # No candidate cells left at this order.
+            continue
+        if any(test.significant for test in tests):
+            return True
+    return False

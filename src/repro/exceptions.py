@@ -22,6 +22,16 @@ class ConstraintError(ReproError):
     """A probability constraint is invalid or inconsistent with others."""
 
 
+class StaleConstraintError(ConstraintError):
+    """A previously adopted constraint is no longer supported by the data.
+
+    Raised by the warm-started rediscovery paths (the discovery engine's
+    ``rerun``, the log-linear warm selection) when updated data stop
+    justifying a constraint the previous revision adopted — the signal
+    that incremental strengthening is invalid and the caller should fall
+    back to a cold refit (which is free to drop the constraint)."""
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to reach the requested tolerance."""
 

@@ -27,6 +27,20 @@ from repro.exceptions import ConstraintError
 CellKey = tuple[tuple[str, ...], tuple[int, ...]]
 
 
+def cellkey_to_dict(key: CellKey) -> dict:
+    """JSON-ready form of a cell key; the one encoding every format uses."""
+    names, values = key
+    return {"attributes": list(names), "values": list(values)}
+
+
+def cellkey_from_dict(data: dict) -> CellKey:
+    """Inverse of :func:`cellkey_to_dict`."""
+    return (
+        tuple(data["attributes"]),
+        tuple(int(value) for value in data["values"]),
+    )
+
+
 @dataclass(frozen=True)
 class CellConstraint:
     """One marginal-cell probability constraint.

@@ -51,7 +51,11 @@ def fit_gevarter(
     When no ``initial`` model is given the solver starts from the
     first-order solution ``a_i = p_i`` (the paper's Eq 60 starting point:
     "Initially, the a values are calculated from the first-order
-    probabilities").
+    probabilities").  When warm-starting across a *changed* constraint set
+    (Figure 4's "last previously calculated a values"), build the initial
+    model with :func:`repro.maxent.ipf.warm_start_model` — factors with no
+    matching constraint are never re-solved here, so leftovers would
+    distort the fixed point.
     """
     constraints.validate_complete()
     if constraints.subset_margins:

@@ -59,6 +59,38 @@ class FitResult:
     trace: list[dict[str, float]] = field(default_factory=list)
 
 
+def warm_start_model(
+    constraints: ConstraintSet, previous: MaxEntModel
+) -> MaxEntModel:
+    """Initial model for re-fitting ``constraints`` from an earlier fit.
+
+    Keeps the previous margin factors and every cell/table factor that is
+    backed by a constraint in the new set, and *drops* the rest.  The drop
+    matters: the iterative solvers only update factors their constraints
+    name, so a leftover factor from a constraint that is no longer imposed
+    would survive the fit untouched and pull the fixed point away from the
+    constraint set's maximum-entropy solution (IPF converges to the
+    I-projection of its *starting* distribution).  Restricted this way, the
+    warm start changes only the convergence speed, never the answer —
+    which is what makes the incremental ``update()`` path equivalent to a
+    cold refit.
+    """
+    model = previous.copy()
+    keys = constraints.cell_keys()
+    model.cell_factors = {
+        key: factor
+        for key, factor in model.cell_factors.items()
+        if key in keys
+    }
+    subsets = set(constraints.subset_margins)
+    model.table_factors = {
+        names: array
+        for names, array in model.table_factors.items()
+        if names in subsets
+    }
+    return model
+
+
 def fit_ipf(
     constraints: ConstraintSet,
     initial: MaxEntModel | None = None,
@@ -77,6 +109,9 @@ def fit_ipf(
         Warm-start model; defaults to the all-ones factor model.  Warm
         starts make the discovery loop's repeated refits cheap, mirroring
         the paper's "starting with the last previously calculated a values".
+        When re-fitting after the constraint *set* changed (not just its
+        targets), build the initial model with :func:`warm_start_model` so
+        stale factors cannot shift the fixed point.
     tol:
         Convergence threshold on the max absolute constraint violation.
     max_sweeps:

@@ -248,6 +248,32 @@ class MaxEntModel:
             {k: v.copy() for k, v in self.table_factors.items()},
         )
 
+    def absorb(self, other: "MaxEntModel") -> None:
+        """Adopt another model's factors *in place* (same schema required).
+
+        This is how a live knowledge base swaps in a refitted model without
+        replacing the object: every open :class:`~repro.api.session.QuerySession`
+        and backend cache holds a reference to *this* model, and their
+        freshness checks key on :meth:`fingerprint` — which changes the
+        moment the factors do — so they self-invalidate on their next
+        operation instead of having to be rebuilt.
+        """
+        if other.schema != self.schema:
+            raise ConstraintError(
+                "cannot absorb a model over a different schema: "
+                f"{other.schema!r} != {self.schema!r}"
+            )
+        self.margin_factors = {
+            name: vector.copy()
+            for name, vector in other.margin_factors.items()
+        }
+        self.cell_factors = dict(other.cell_factors)
+        self.table_factors = {
+            names: array.copy()
+            for names, array in other.table_factors.items()
+        }
+        self.a0 = other.a0
+
     def a_values(self) -> dict[str, float]:
         """Flat named view of all ``a`` factors (for Table-2 style traces).
 

@@ -139,6 +139,7 @@ def evaluate_cell(
     constraints: ConstraintSet,
     priors: MMLPriors | None = None,
     candidate_pool: int | None = None,
+    predicted: float | None = None,
 ) -> CellTest:
     """Run the MML test on one marginal cell; returns one Table-1 row.
 
@@ -148,6 +149,11 @@ def evaluate_cell(
         The ``(number of cells at this order − M)`` count of Eq 40/45; when
         omitted it is computed from the table and the constraints found at
         this cell's order.
+    predicted:
+        The cell's probability under ``model``; when omitted it is computed
+        via :meth:`~repro.maxent.model.MaxEntModel.probability`.  Callers
+        scanning many cells pass it from a shared marginal so the dense
+        joint is materialized once per scan, not once per cell.
     """
     priors = priors or MMLPriors.equal()
     order = len(attributes)
@@ -162,7 +168,8 @@ def evaluate_cell(
 
     total = table.total
     observed = table.count(dict(zip(attributes, values)))
-    predicted = model.probability(dict(zip(attributes, values)))
+    if predicted is None:
+        predicted = model.probability(dict(zip(attributes, values)))
     predicted = min(max(predicted, 0.0), 1.0)
 
     m1 = -log(priors.p_h1) - log_binomial_pmf(observed, total, predicted)
@@ -199,18 +206,37 @@ def scan_order(
 
     The returned list covers all attribute subsets of the order (the
     paper's "16 second order cells" for the smoking example), excluding
-    cells already adopted as constraints.
+    cells already adopted as constraints.  The model's dense joint is
+    materialized once for the whole scan and marginalized per subset —
+    the same numbers :meth:`~repro.maxent.model.MaxEntModel.probability`
+    would produce cell by cell, at a fraction of the cost.
     """
     priors = priors or MMLPriors.equal()
     found_at_order = len(constraints.cells_of_order(order))
     pool = table.num_cells_of_order(order) - found_at_order
+    schema = table.schema
+    joint = model.joint()
+    marginals: dict[tuple[str, ...], object] = {}
     tests = []
     for subset, values, _count in table.cells_of_order(order):
         if constraints.has_cell((subset, values)):
             continue
+        marginal = marginals.get(subset)
+        if marginal is None:
+            keep = set(schema.axes(subset))
+            drop = tuple(ax for ax in range(len(schema)) if ax not in keep)
+            marginal = joint.sum(axis=drop) if drop else joint
+            marginals[subset] = marginal
         tests.append(
             evaluate_cell(
-                table, model, subset, values, constraints, priors, pool
+                table,
+                model,
+                subset,
+                values,
+                constraints,
+                priors,
+                pool,
+                predicted=float(marginal[values]),
             )
         )
     return tests

@@ -22,33 +22,56 @@ def kb(table):
     return ProbabilisticKnowledgeBase.from_data(table)
 
 
+def _v2_dict(kb):
+    """A faithful v2 payload: the current layout minus the v3 additions."""
+    data = kb.to_dict()
+    data["format_version"] = 2
+    data.pop("revisions")
+    data.pop("discovery")
+    return data
+
+
 class TestFormatVersion:
-    def test_current_version_is_two(self):
-        assert FORMAT_VERSION == 2
+    def test_current_version_is_three(self):
+        assert FORMAT_VERSION == 3
 
     def test_to_dict_stamps_version(self, kb):
         assert kb.to_dict()["format_version"] == FORMAT_VERSION
 
-    def test_v2_round_trip(self, kb):
+    def test_v3_round_trip(self, kb):
         clone = ProbabilisticKnowledgeBase.from_dict(kb.to_dict())
         for text in QUERIES:
             assert clone.query(text) == pytest.approx(
                 kb.query(text), rel=1e-12
             )
 
+    def test_v2_dict_migrates(self, kb):
+        """v2 lacks the lifecycle fields; everything else reads unchanged."""
+        clone = ProbabilisticKnowledgeBase.from_dict(_v2_dict(kb))
+        for text in QUERIES:
+            assert clone.query(text) == pytest.approx(
+                kb.query(text), rel=1e-12
+            )
+        assert clone.revisions == []
+        assert clone.discovery is None
+        assert not clone.can_update
+
     def test_v1_dict_migrates(self, kb):
         """A v1 dict is exactly a v2 dict without the version field."""
-        legacy = kb.to_dict()
+        legacy = _v2_dict(kb)
         legacy.pop("format_version")
         clone = ProbabilisticKnowledgeBase.from_dict(legacy)
         for text in QUERIES:
             assert clone.query(text) == pytest.approx(
                 kb.query(text), rel=1e-12
             )
+        assert not clone.can_update
 
-    def test_v1_file_round_trip(self, kb, tmp_path):
-        legacy = kb.to_dict()
-        legacy.pop("format_version")
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_legacy_file_round_trip(self, kb, tmp_path, version):
+        legacy = _v2_dict(kb)
+        if version == 1:
+            legacy.pop("format_version")
         path = tmp_path / "legacy_kb.json"
         path.write_text(json.dumps(legacy))
         loaded = ProbabilisticKnowledgeBase.load(path)
@@ -77,3 +100,72 @@ class TestFormatVersion:
     def test_non_dict_rejected(self):
         with pytest.raises(DataError, match="malformed"):
             ProbabilisticKnowledgeBase.from_dict([1, 2, 3])
+
+
+class TestAuditTrailRoundTrip:
+    """Format 3 round-trips the discovery trace and revision history."""
+
+    def test_discovery_trace_survives(self, kb):
+        clone = ProbabilisticKnowledgeBase.from_dict(kb.to_dict())
+        original = kb.discovery
+        restored = clone.discovery
+        assert restored is not None
+        assert restored.table == original.table
+        assert restored.constraints.cell_keys() == (
+            original.constraints.cell_keys()
+        )
+        assert restored.num_scans() == original.num_scans()
+        for old, new in zip(original.scans, restored.scans):
+            assert new.order == old.order
+            assert new.fit_sweeps == old.fit_sweeps
+            assert new.tests == old.tests
+            assert new.chosen == old.chosen
+        assert restored.config == original.config
+        assert restored.summary() == original.summary()
+
+    def test_restored_model_is_attached(self, kb):
+        clone = ProbabilisticKnowledgeBase.from_dict(kb.to_dict())
+        assert clone.discovery.model is clone.model
+
+    def test_revisions_survive(self, kb, table, rng):
+        from repro.data.dataset import Dataset
+
+        delta = Dataset.from_joint(
+            kb.schema, table.probabilities(), 400, rng
+        ).to_contingency()
+        kb.update(delta)
+        clone = ProbabilisticKnowledgeBase.from_dict(kb.to_dict())
+        assert clone.revisions == kb.revisions
+        assert clone.revisions[0].mode == "initial"
+        assert clone.revisions[1].mode in ("warm", "cold")
+
+    def test_save_without_audit(self, kb, tmp_path):
+        """include_audit=False writes the model only: smaller, no counts
+        disclosed, not updatable — the pre-format-3 shipping shape."""
+        full = tmp_path / "full.json"
+        lean = tmp_path / "lean.json"
+        kb.save(full)
+        kb.save(lean, include_audit=False)
+        assert lean.stat().st_size < full.stat().st_size
+        assert "counts" not in lean.read_text()
+        loaded = ProbabilisticKnowledgeBase.load(lean)
+        assert loaded.discovery is None
+        assert not loaded.can_update
+        assert loaded.query(QUERIES[1]) == pytest.approx(
+            kb.query(QUERIES[1]), rel=1e-12
+        )
+
+    def test_loaded_kb_updates_warm(self, kb, table, rng, tmp_path):
+        """The round-tripped audit trail keeps the KB updatable."""
+        from repro.data.dataset import Dataset
+
+        path = tmp_path / "kb.json"
+        kb.save(path)
+        loaded = ProbabilisticKnowledgeBase.load(path)
+        assert loaded.can_update
+        delta = Dataset.from_joint(
+            kb.schema, table.probabilities(), 400, rng
+        ).to_contingency()
+        revision = loaded.update(delta)
+        assert revision.mode == "warm"
+        assert loaded.sample_size == table.total + 400

@@ -87,12 +87,23 @@ class TestSerialization:
             kb.query("CANCER=yes | SMOKING=smoker"), rel=1e-9
         )
 
-    def test_loaded_kb_reports_constraints(self, kb, tmp_path):
-        """A KB loaded without its discovery trace still lists its
-        significant joint probabilities (recomputed from factors)."""
+    def test_loaded_kb_keeps_discovery_trace(self, kb, tmp_path):
+        """Since format 3 the audit trail survives a save/load cycle."""
         path = tmp_path / "kb.json"
         kb.save(path)
         loaded = ProbabilisticKnowledgeBase.load(path)
+        assert loaded.discovery is not None
+        assert loaded.discovery.constraints.cell_keys() == (
+            kb.discovery.constraints.cell_keys()
+        )
+
+    def test_loaded_kb_reports_constraints(self, kb):
+        """A KB without its discovery trace (e.g. a pre-format-3 file)
+        still lists its significant joint probabilities (recomputed from
+        factors)."""
+        data = kb.to_dict()
+        data.pop("discovery")
+        loaded = ProbabilisticKnowledgeBase.from_dict(data)
         assert loaded.discovery is None
         original = {
             (c.attributes, c.values): c.probability for c in kb.constraints
@@ -108,3 +119,83 @@ class TestSerialization:
     def test_malformed_dict(self):
         with pytest.raises(DataError, match="malformed"):
             ProbabilisticKnowledgeBase.from_dict({"schema": {}})
+
+
+class TestIncrementalUpdate:
+    def test_update_records_revision(self, kb, schema, table, rng):
+        delta = Dataset.from_joint(schema, table.probabilities(), 400, rng)
+        revision = kb.update(delta)
+        assert revision.number == 1
+        assert revision.mode in ("warm", "cold")
+        assert revision.added_samples == 400
+        assert kb.sample_size == table.total + 400
+        assert kb.revisions[-1] is revision
+
+    def test_update_accepts_raw_samples(self, kb, table):
+        revision = kb.update([("smoker", "yes", "no")] * 5)
+        assert kb.sample_size == table.total + 5
+        assert revision.added_samples == 5
+
+    def test_empty_update_is_noop(self, kb, schema, table):
+        from repro.data.contingency import ContingencyTable
+
+        fingerprint = kb.model.fingerprint()
+        revision = kb.update(ContingencyTable.zeros(schema))
+        assert revision.mode == "noop"
+        assert kb.model.fingerprint() == fingerprint
+        assert kb.sample_size == table.total
+
+    def test_update_mutates_model_in_place(self, kb, schema, table, rng):
+        model = kb.model
+        fingerprint = model.fingerprint()
+        delta = Dataset.from_joint(schema, table.probabilities(), 400, rng)
+        kb.update(delta)
+        assert kb.model is model
+        assert model.fingerprint() != fingerprint
+        assert kb.discovery.model is model
+
+    def test_open_sessions_self_invalidate(self, kb):
+        """An open session serves the refreshed model without a rebuild."""
+        session = kb.session()
+        before = session.ask("CANCER=yes | SMOKING=smoker")
+        kb.update([("smoker", "yes", "no")] * 500)
+        after = session.ask("CANCER=yes | SMOKING=smoker")
+        assert after > before
+        # And the facade's own default session too.
+        assert kb.query("CANCER=yes | SMOKING=smoker") == pytest.approx(
+            after
+        )
+
+    def test_ingest_resets_builder(self, kb, schema, table):
+        from repro.data.streaming import TableBuilder
+
+        builder = TableBuilder(schema)
+        for _ in range(10):
+            builder.add_sample(("smoker", "yes", "no"))
+        revision = kb.ingest(builder)
+        assert revision.added_samples == 10
+        assert builder.total == 0
+        assert kb.sample_size == table.total + 10
+
+    def test_ingest_wrong_type(self, kb, table):
+        with pytest.raises(DataError, match="expects a TableBuilder"):
+            kb.ingest(table)
+
+    def test_update_rejects_builder(self, kb, schema):
+        """update() would re-absorb a builder in full on every call;
+        ingest() is the consuming form."""
+        from repro.data.streaming import TableBuilder
+
+        builder = TableBuilder(schema)
+        builder.add_sample(("smoker", "yes", "no"))
+        with pytest.raises(DataError, match="ingest"):
+            kb.update(builder)
+        # The suggested alternatives both work.
+        kb.update(builder.snapshot())
+        kb.ingest(builder)
+
+    def test_from_model_cannot_update(self, kb):
+        bare = ProbabilisticKnowledgeBase.from_model(kb.model.copy(), 100)
+        assert not bare.can_update
+        with pytest.raises(DataError, match="cannot be updated"):
+            bare.update([("smoker", "yes", "no")])

@@ -42,15 +42,13 @@ class TestTableBuilder:
         assert builder.total == 100 + table.total
 
     def test_wrong_schema_rejected(self, schema, rng):
+        from repro.data.contingency import ContingencyTable
         from repro.data.schema import Attribute, Schema
 
         other = Schema([Attribute("X", ("a", "b"))])
         builder = TableBuilder(other)
         with pytest.raises(DataError, match="schema"):
-            builder.add_table(
-                __import__("repro.data.contingency", fromlist=["ContingencyTable"])
-                .ContingencyTable.zeros(schema)
-            )
+            builder.add_table(ContingencyTable.zeros(schema))
 
     def test_wrong_sample_width(self, schema):
         builder = TableBuilder(schema)
@@ -94,3 +92,101 @@ class TestTableBuilder:
         assert result.table.total == 5000
         builder.add_sample((0, 0, 0))
         assert builder.total == 5001
+
+
+class TestSchemaValidation:
+    """Every schema-bearing add path reports exactly what differs."""
+
+    def _other_category_schema(self, schema):
+        from repro.data.schema import Attribute, Schema
+
+        attributes = []
+        for attribute in schema:
+            if attribute.name == "CANCER":
+                attributes.append(Attribute("CANCER", ("yes", "maybe")))
+            else:
+                attributes.append(attribute)
+        return Schema(attributes)
+
+    def test_missing_and_unexpected_attributes_named(self, schema):
+        from repro.data.contingency import ContingencyTable
+        from repro.data.schema import Attribute, Schema
+
+        other = Schema(
+            [
+                Attribute("SMOKING", ("smoker", "ex-smoker", "non-smoker")),
+                Attribute("WEATHER", ("dry", "wet")),
+            ]
+        )
+        builder = TableBuilder(schema)
+        with pytest.raises(DataError) as excinfo:
+            builder.add_table(ContingencyTable.zeros(other))
+        message = str(excinfo.value)
+        assert "missing attributes" in message
+        assert "CANCER" in message and "FAMILY_HISTORY" in message
+        assert "unexpected attributes" in message and "WEATHER" in message
+
+    def test_category_mismatch_named(self, schema):
+        from repro.data.contingency import ContingencyTable
+
+        other = self._other_category_schema(schema)
+        builder = TableBuilder(schema)
+        with pytest.raises(DataError) as excinfo:
+            builder.add_table(ContingencyTable.zeros(other))
+        message = str(excinfo.value)
+        assert "'CANCER' categories differ" in message
+        assert "maybe" in message and "no" in message
+
+    def test_dataset_schema_mismatch(self, schema):
+        other = self._other_category_schema(schema)
+        builder = TableBuilder(schema)
+        with pytest.raises(DataError, match="categories differ"):
+            builder.add_dataset(Dataset.from_samples(other, []))
+
+    def test_record_missing_attribute(self, schema):
+        builder = TableBuilder(schema)
+        with pytest.raises(DataError, match="missing attributes"):
+            builder.add_record({"SMOKING": "smoker", "CANCER": "yes"})
+
+    def test_record_metadata_keys_ignored(self, schema):
+        """Extra keys (timestamps, frame ids) ride along harmlessly."""
+        builder = TableBuilder(schema)
+        builder.add_record(
+            {
+                "SMOKING": "smoker",
+                "CANCER": "yes",
+                "FAMILY_HISTORY": "no",
+                "timestamp": 1234567890,
+            }
+        )
+        assert builder.total == 1
+
+
+class TestMerge:
+    def test_merge_combines_shards(self, schema):
+        left = TableBuilder(schema)
+        right = TableBuilder(schema)
+        left.add_sample(("smoker", "yes", "no"))
+        right.add_sample(("non-smoker", "no", "yes"))
+        right.add_sample(("smoker", "yes", "no"))
+        left.merge(right)
+        assert left.total == 3
+        assert left.batches == 3
+        assert left.snapshot().count(
+            {"SMOKING": "smoker", "CANCER": "yes", "FAMILY_HISTORY": "no"}
+        ) == 2
+        # The merged-from shard is untouched.
+        assert right.total == 2
+
+    def test_merge_schema_mismatch(self, schema):
+        from repro.data.schema import Attribute, Schema
+
+        other = Schema([Attribute("X", ("a", "b"))])
+        builder = TableBuilder(schema)
+        with pytest.raises(DataError, match="merged builder schema"):
+            builder.merge(TableBuilder(other))
+
+    def test_merge_non_builder(self, schema, table):
+        builder = TableBuilder(schema)
+        with pytest.raises(DataError, match="expects a TableBuilder"):
+            builder.merge(table)

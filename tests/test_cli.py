@@ -118,6 +118,98 @@ class TestQueryCommand:
         assert "--given" in capsys.readouterr().err
 
 
+class TestUpdateCommand:
+    def _write_csv(self, schema, table, rng, path, n):
+        dataset = Dataset.from_joint(schema, table.probabilities(), n, rng)
+        write_dataset_csv(dataset, path)
+
+    def test_discover_save_then_update(
+        self, capsys, schema, table, rng, tmp_path
+    ):
+        import json
+
+        kb_path = tmp_path / "kb.json"
+        assert main(["discover", "--save", str(kb_path)]) == 0
+        assert "knowledge base saved" in capsys.readouterr().out
+        assert json.loads(kb_path.read_text())["format_version"] == 3
+
+        delta_path = tmp_path / "delta.csv"
+        self._write_csv(schema, table, rng, delta_path, 400)
+        assert main(
+            ["update", "--kb", str(kb_path), "--csv", str(delta_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "revision 1" in output
+        assert "absorbed 400 samples" in output
+        assert "N=3828" in output
+        assert json.loads(kb_path.read_text())["sample_size"] == 3828
+
+    def test_update_save_elsewhere(self, capsys, schema, table, rng, tmp_path):
+        kb_path = tmp_path / "kb.json"
+        assert main(["discover", "--save", str(kb_path)]) == 0
+        delta_path = tmp_path / "delta.csv"
+        self._write_csv(schema, table, rng, delta_path, 100)
+        out_path = tmp_path / "kb2.json"
+        capsys.readouterr()
+        assert main(
+            [
+                "update",
+                "--kb",
+                str(kb_path),
+                "--csv",
+                str(delta_path),
+                "--save",
+                str(out_path),
+            ]
+        ) == 0
+        assert out_path.exists()
+        # The original file is untouched.
+        from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+
+        assert ProbabilisticKnowledgeBase.load(kb_path).sample_size == 3428
+        assert ProbabilisticKnowledgeBase.load(out_path).sample_size == 3528
+
+    def test_update_pre_v3_kb_rejected(
+        self, capsys, schema, table, rng, tmp_path
+    ):
+        import json
+
+        from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+
+        kb = ProbabilisticKnowledgeBase.from_data(table)
+        data = kb.to_dict()
+        data.pop("discovery")
+        data.pop("revisions")
+        data["format_version"] = 2
+        kb_path = tmp_path / "old_kb.json"
+        kb_path.write_text(json.dumps(data))
+        delta_path = tmp_path / "delta.csv"
+        self._write_csv(schema, table, rng, delta_path, 50)
+        assert main(
+            ["update", "--kb", str(kb_path), "--csv", str(delta_path)]
+        ) == 2
+        assert "no discovery audit trail" in capsys.readouterr().err
+
+    def test_update_schema_mismatch_reported(self, capsys, tmp_path):
+        kb_path = tmp_path / "kb.json"
+        assert main(["discover", "--save", str(kb_path)]) == 0
+        bad_csv = tmp_path / "bad.csv"
+        bad_csv.write_text("X,Y\na,b\nc,d\n")
+        capsys.readouterr()
+        assert main(
+            ["update", "--kb", str(kb_path), "--csv", str(bad_csv)]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_update_missing_kb_reports_cleanly(self, capsys, tmp_path):
+        delta = tmp_path / "delta.csv"
+        delta.write_text("A,B\nx,y\n")
+        assert main(
+            ["update", "--kb", "/nonexistent.json", "--csv", str(delta)]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
