@@ -1,0 +1,44 @@
+"""The order-3 discovery-scan scenario, shared between the enforced
+benchmark (``bench_discovery_scan.py``) and the ``run_all.py`` trajectory
+emitter — one definition of the workload, so the recorded trajectory
+always measures exactly what CI asserts."""
+
+import time
+
+import numpy as np
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import discover
+from repro.synth.surveys import medical_survey_population
+
+SEED = 19
+ORDER = 3
+MIN_SPEEDUP = 5.0
+
+
+def sample_size(smoke: bool) -> int:
+    return 3000 if smoke else 80000
+
+
+def timing_repeats(smoke: bool) -> int:
+    return 3 if smoke else 5
+
+
+def build_table(smoke: bool):
+    rng = np.random.default_rng(SEED)
+    return medical_survey_population().sample_table(sample_size(smoke), rng)
+
+
+def order_entry_state(table):
+    """Model and constraints as discovery leaves them entering ORDER."""
+    result = discover(table, DiscoveryConfig(max_order=ORDER - 1))
+    return result.model, result.constraints
+
+
+def best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and record a discovery-performance trajectory.
+
+Usage::
+
+    python benchmarks/run_all.py                 # pytest-run every bench
+    python benchmarks/run_all.py --json          # + append BENCH_discovery.json
+    python benchmarks/run_all.py --json --smoke  # tiny sizes (CI)
+    python benchmarks/run_all.py --json --skip-suite   # metrics only
+
+``--json`` measures the discovery hot path directly — per-order scan time
+(scalar reference vs vectorized kernel, cold and warm), full kernel- and
+reference-backed discovery runs, and the engine's per-stage split — checks
+that the vectorized and reference decisions are identical, and appends one
+record to a trajectory file (default ``BENCH_discovery.json`` at the repo
+root).  The file is a JSON list, one record per invocation, so successive
+runs chart the scan path's performance over time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TRAJECTORY = REPO_ROOT / "BENCH_discovery.json"
+
+
+def run_suite(smoke: bool) -> int:
+    """Run every benchmark file under pytest; returns the exit code."""
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", str(REPO_ROOT / "src"))
+    if smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
+    bench_files = sorted(
+        str(path) for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+    )
+    command = [sys.executable, "-m", "pytest", "-q", *bench_files]
+    return subprocess.call(command, env=env)
+
+
+def measure_discovery(smoke: bool) -> dict:
+    """The discovery-scan trajectory metrics (and equivalence check).
+
+    The scenario (table, warm-up state, timing policy) comes from
+    ``_discovery_scenario``, the same module the enforced benchmark uses,
+    so trajectory records stay comparable to the CI-asserted numbers.
+    """
+    import numpy as np
+
+    from _discovery_scenario import (
+        ORDER,
+        best_of,
+        build_table,
+        order_entry_state,
+        sample_size,
+        timing_repeats,
+    )
+    from repro.discovery.config import DiscoveryConfig
+    from repro.discovery.engine import DiscoveryEngine
+    from repro.significance.kernels import OrderScanKernel
+    from repro.significance.mml import reference_scan_order
+
+    n_samples = sample_size(smoke)
+    repeats = timing_repeats(smoke)
+    order = ORDER
+    table = build_table(smoke)
+    model, constraints = order_entry_state(table)
+
+    reference_tests = reference_scan_order(table, model, order, constraints)
+    warm_kernel = OrderScanKernel(table, order, constraints)
+    vectorized_tests = warm_kernel.scan(model)
+    if vectorized_tests != reference_tests:
+        raise AssertionError(
+            "vectorized scan diverged from the scalar reference"
+        )
+
+    scan_reference = best_of(
+        lambda: reference_scan_order(table, model, order, constraints),
+        repeats,
+    )
+    scan_cold = best_of(
+        lambda: OrderScanKernel(table, order, constraints).scan(model),
+        repeats,
+    )
+    scan_warm = best_of(lambda: warm_kernel.scan(model), repeats)
+
+    config = DiscoveryConfig(max_order=3)
+    start = time.perf_counter()
+    kernel_run = DiscoveryEngine(config).run(table)
+    discovery_kernel = time.perf_counter() - start
+    start = time.perf_counter()
+    reference_run = DiscoveryEngine(config, scan_backend="reference").run(
+        table
+    )
+    discovery_reference = time.perf_counter() - start
+    if [c.key for c in kernel_run.found] != [
+        c.key for c in reference_run.found
+    ]:
+        raise AssertionError(
+            "kernel-backed discovery adopted different constraints than "
+            "the reference backend"
+        )
+
+    profile = kernel_run.profile
+    return {
+        "scenario": "order3-medical-survey",
+        "n_samples": n_samples,
+        "candidate_cells": len(reference_tests),
+        "scan_reference_ms": 1e3 * scan_reference,
+        "scan_kernel_cold_ms": 1e3 * scan_cold,
+        "scan_kernel_warm_ms": 1e3 * scan_warm,
+        "scan_speedup_warm": scan_reference / scan_warm,
+        "discovery_kernel_s": discovery_kernel,
+        "discovery_reference_s": discovery_reference,
+        "constraints_found": len(kernel_run.found),
+        "stage_scan_s": profile.scan_seconds,
+        "stage_fit_s": profile.fit_seconds,
+        "stage_verify_s": profile.verify_seconds,
+    }
+
+
+def append_trajectory(path: Path, record: dict) -> None:
+    history: list = []
+    if path.exists():
+        try:
+            history = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const=str(DEFAULT_TRAJECTORY),
+        default=None,
+        metavar="PATH",
+        help=(
+            "append a discovery trajectory record to PATH "
+            f"(default {DEFAULT_TRAJECTORY.name})"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI (sets REPRO_BENCH_SMOKE=1)",
+    )
+    parser.add_argument(
+        "--skip-suite",
+        action="store_true",
+        help="skip the pytest benchmark suite, only emit metrics",
+    )
+    args = parser.parse_args(argv)
+
+    status = 0
+    if not args.skip_suite:
+        status = run_suite(args.smoke)
+        if status != 0:
+            return status
+
+    if args.json is not None:
+        if args.smoke:
+            os.environ["REPRO_BENCH_SMOKE"] = "1"
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        started = time.time()
+        metrics = measure_discovery(args.smoke)
+        record = {
+            "timestamp": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)
+            ),
+            "smoke": args.smoke,
+            "python": platform.python_version(),
+            "metrics": metrics,
+        }
+        path = Path(args.json)
+        append_trajectory(path, record)
+        print(
+            f"trajectory record appended to {path} "
+            f"(warm scan speedup {metrics['scan_speedup_warm']:.1f}x)"
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

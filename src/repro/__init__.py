@@ -76,9 +76,15 @@ from repro.maxent.dual import fit_dual
 from repro.maxent.gevarter import fit_gevarter
 from repro.maxent.ipf import fit_ipf, warm_start_model
 from repro.maxent.model import MaxEntModel
-from repro.significance.mml import MMLPriors, evaluate_cell, scan_order
+from repro.significance.kernels import DiscoveryProfile, OrderScanKernel
+from repro.significance.mml import (
+    MMLPriors,
+    evaluate_cell,
+    reference_scan_order,
+    scan_order,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Attribute",
@@ -93,12 +99,14 @@ __all__ = [
     "DiscoveryConfig",
     "DiscoveryEngine",
     "DiscoveryEstimator",
+    "DiscoveryProfile",
     "EliminationBackend",
     "Estimator",
     "InferenceBackend",
     "LiveKnowledgeBase",
     "MMLPriors",
     "MaxEntModel",
+    "OrderScanKernel",
     "ProbabilisticKnowledgeBase",
     "Query",
     "QueryEngine",
@@ -129,6 +137,7 @@ __all__ = [
     "paper_schema",
     "paper_table",
     "rediscover",
+    "reference_scan_order",
     "register_backend",
     "register_estimator",
     "scan_order",

@@ -23,6 +23,7 @@ the joint state space.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 from typing import ClassVar
 
@@ -120,7 +121,12 @@ class InferenceBackend(ABC):
 
     @abstractmethod
     def marginal(self, names: Sequence[str]) -> np.ndarray:
-        """Normalized marginal over ``names`` (axes in schema order)."""
+        """Normalized marginal over ``names`` (axes in schema order).
+
+        The returned array may be a shared, read-only cache entry
+        (:class:`DenseBackend` hands out frozen arrays); callers that
+        want to mutate the result must copy it first.
+        """
 
     def joint(self) -> np.ndarray:
         """Dense normalized joint tensor (may be expensive for wide schemas)."""
@@ -148,14 +154,28 @@ class InferenceBackend(ABC):
 
 @register_backend
 class DenseBackend(InferenceBackend):
-    """Joint-tensor evaluation; the tensor is built once and cached."""
+    """Joint-tensor evaluation; the tensor is built once and cached.
+
+    Subset marginals are additionally kept in a small LRU cache keyed by
+    the canonical subset, so direct backend callers (outside
+    :class:`~repro.api.session.QuerySession`, which layers its own cache)
+    stop re-summing the frozen joint on every repeated query.  Cached
+    arrays are frozen — they are handed out by reference — and the whole
+    cache drops whenever the model's fingerprint changes.
+    """
 
     name = "dense"
+
+    #: Max number of subset marginals retained (LRU eviction beyond this).
+    MARGINAL_CACHE_SIZE = 64
 
     def __init__(self, model: MaxEntModel):
         super().__init__(model)
         self._joint: np.ndarray | None = None
         self._fingerprint: int | None = None
+        self._marginals: OrderedDict[tuple[str, ...], np.ndarray] = (
+            OrderedDict()
+        )
 
     def _tensor(self) -> np.ndarray:
         fingerprint = self.model.fingerprint()
@@ -166,6 +186,7 @@ class DenseBackend(InferenceBackend):
             joint.flags.writeable = False
             self._joint = joint
             self._fingerprint = fingerprint
+            self._marginals.clear()
         return self._joint
 
     def joint(self) -> np.ndarray:
@@ -174,14 +195,26 @@ class DenseBackend(InferenceBackend):
     def marginal(self, names: Sequence[str]) -> np.ndarray:
         schema = self.model.schema
         ordered = schema.canonical_subset(names)
-        keep = set(schema.axes(ordered))
-        drop = tuple(ax for ax in range(len(schema)) if ax not in keep)
+        # _tensor() first: it also drops stale marginals on model change.
         tensor = self._tensor()
-        return tensor.sum(axis=drop) if drop else tensor
+        cached = self._marginals.get(ordered)
+        if cached is not None:
+            self._marginals.move_to_end(ordered)
+            return cached
+        drop = schema.drop_axes(ordered)
+        if not drop:
+            return tensor
+        marginal = tensor.sum(axis=drop)
+        marginal.flags.writeable = False
+        self._marginals[ordered] = marginal
+        if len(self._marginals) > self.MARGINAL_CACHE_SIZE:
+            self._marginals.popitem(last=False)
+        return marginal
 
     def invalidate(self) -> None:
         self._joint = None
         self._fingerprint = None
+        self._marginals.clear()
 
 
 @register_backend

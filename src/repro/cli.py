@@ -61,6 +61,14 @@ def main(argv: list[str] | None = None) -> int:
             "trail, so it can be updated later with 'repro update')"
         ),
     )
+    discover_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print a per-stage timing table (scan / fit / verify) from "
+            "the discovery kernels' instrumentation"
+        ),
+    )
 
     update_parser = subparsers.add_parser(
         "update",
@@ -158,12 +166,16 @@ def main(argv: list[str] | None = None) -> int:
         config = DiscoveryConfig(max_order=args.max_order)
         if args.save:
             kb = ProbabilisticKnowledgeBase.from_data(table, config)
-            print(kb.discovery.summary())
+            result = kb.discovery
+            print(result.summary())
             kb.save(args.save)
             print(f"knowledge base saved to {args.save}")
         else:
             result = discover(table, config)
             print(result.summary())
+        if args.profile:
+            print()
+            print(_render_profile(result))
     elif args.command == "update":
         return _run_update(args)
     elif args.command == "rules":
@@ -330,6 +342,22 @@ def _load_table(csv_path: str | None):
     if csv_path is None:
         return paper_table()
     return read_dataset_csv(csv_path).to_contingency()
+
+
+def _render_profile(result) -> str:
+    """Per-stage timing table from the discovery kernels' instrumentation."""
+    from repro.eval.tables import format_table
+
+    profile = result.profile
+    if profile is None:
+        return "no profile recorded (result was loaded, not fitted)"
+    table = format_table(
+        ["stage", "calls", "work", "seconds", "share"], profile.rows()
+    )
+    return (
+        f"discovery stage timings (total {profile.total_seconds:.4f}s)\n"
+        + table
+    )
 
 
 if __name__ == "__main__":

@@ -6,6 +6,13 @@ tensor whose axes follow the schema's attribute order.  Marginal counts
 (Eqs 1-6) are axis sums; :meth:`ContingencyTable.marginal` returns them for
 any attribute subset.
 
+Counts are immutable once constructed, so every marginal count tensor is
+computed at most once: :meth:`ContingencyTable.marginal_counts` keeps a
+per-subset cache of read-only count arrays, and :meth:`ContingencyTable.count`
+answers from it in O(1) after the first lookup of a subset.  This is what
+makes the discovery scan kernels array-native — the per-cell dict lookups
+of the scalar path all collapse into shared cached tensors.
+
 The text rendering helpers reproduce the paper's visual layout: a 2-D grid
 per slice of a third attribute (Figure 1) optionally bordered with marginal
 sums (Figure 2).
@@ -53,6 +60,9 @@ class ContingencyTable:
         self.schema = schema
         self.counts = counts
         self.counts.setflags(write=False)
+        # Counts are frozen above, so these caches never go stale.
+        self._marginal_cache: dict[tuple[str, ...], np.ndarray] = {}
+        self._total: int | None = None
 
     # -- constructors -------------------------------------------------------------
 
@@ -99,7 +109,9 @@ class ContingencyTable:
     @property
     def total(self) -> int:
         """Total number of individuals N (Eq 6)."""
-        return int(self.counts.sum())
+        if self._total is None:
+            self._total = int(self.counts.sum())
+        return self._total
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ContingencyTable):
@@ -120,16 +132,33 @@ class ContingencyTable:
 
     # -- marginals (Eqs 1-6) ------------------------------------------------------
 
+    def marginal_counts(self, names: Sequence[str]) -> np.ndarray:
+        """Cached read-only marginal count tensor over ``names``.
+
+        Axes follow schema order.  The array is computed once per subset
+        and frozen; callers that need to mutate should use
+        :meth:`marginal`, which returns a fresh copy.  The cache holds at
+        most one entry per attribute subset ever queried (bounded by
+        ``2^R``), each no larger than the count tensor itself.
+        """
+        ordered = self.schema.canonical_subset(names)
+        cached = self._marginal_cache.get(ordered)
+        if cached is None:
+            drop = self.schema.drop_axes(ordered)
+            cached = self.counts.sum(axis=drop) if drop else self.counts
+            cached.setflags(write=False)
+            self._marginal_cache[ordered] = cached
+        return cached
+
     def marginal(self, names: Sequence[str]) -> np.ndarray:
         """Marginal count array over ``names`` (axes in schema order).
 
         ``marginal(["A", "B"])`` returns ``N_ij = sum_k N_ijk`` (Eq 1);
-        ``marginal(["A"])`` returns ``N_i`` (Eq 4).
+        ``marginal(["A"])`` returns ``N_i`` (Eq 4).  The returned array is
+        a mutable copy; use :meth:`marginal_counts` for the shared cached
+        tensor.
         """
-        ordered = self.schema.canonical_subset(names)
-        keep = set(self.schema.axes(ordered))
-        drop = tuple(ax for ax in range(len(self.schema)) if ax not in keep)
-        return self.counts.sum(axis=drop) if drop else self.counts.copy()
+        return self.marginal_counts(names).copy()
 
     def marginal_table(self, names: Sequence[str]) -> "ContingencyTable":
         """Marginal as a new :class:`ContingencyTable` over the sub-schema.
@@ -151,7 +180,7 @@ class ContingencyTable:
         """
         indices = self.schema.indices_of(assignment)
         names = self.schema.canonical_subset(list(indices))
-        sub = self.marginal(names)
+        sub = self.marginal_counts(names)
         return int(sub[tuple(indices[n] for n in names)])
 
     # -- probabilities ------------------------------------------------------------
@@ -168,7 +197,7 @@ class ContingencyTable:
         total = self.total
         if total == 0:
             raise DataError("cannot compute probabilities of an empty table")
-        return self.marginal([name]) / total
+        return self.marginal_counts([name]) / total
 
     def probability(self, assignment: Mapping[str, str | int]) -> float:
         """Empirical probability of a (possibly partial) assignment."""
@@ -194,7 +223,7 @@ class ContingencyTable:
         ``list(table.cells_of_order(2))``.
         """
         for subset in self.subsets_of_order(order):
-            sub = self.marginal(subset)
+            sub = self.marginal_counts(subset)
             for index in np.ndindex(sub.shape):
                 yield subset, tuple(int(i) for i in index), int(sub[index])
 

@@ -174,6 +174,15 @@ class Schema:
         """Return tensor axes for several attribute names (input order)."""
         return tuple(self.axis(n) for n in names)
 
+    def drop_axes(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Axes *not* covered by ``names``, in ascending order.
+
+        These are the axes a tensor sum drops to marginalize onto the
+        subset — the complement every marginalization site needs.
+        """
+        keep = set(self.axes(names))
+        return tuple(ax for ax in range(len(self)) if ax not in keep)
+
     def canonical_subset(self, names: Sequence[str]) -> tuple[str, ...]:
         """Return ``names`` sorted into schema order, validating membership.
 

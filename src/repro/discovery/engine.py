@@ -20,6 +20,8 @@ cold refit of the merged table would.
 
 from __future__ import annotations
 
+import time
+
 from repro.data.contingency import ContingencyTable
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.trace import DiscoveryResult, ScanRecord
@@ -28,7 +30,12 @@ from repro.maxent.constraints import ConstraintSet
 from repro.maxent.gevarter import fit_gevarter
 from repro.maxent.ipf import fit_ipf, warm_start_model
 from repro.maxent.model import MaxEntModel
-from repro.significance.mml import evaluate_cell, most_significant, scan_order
+from repro.significance.kernels import DiscoveryProfile, OrderScanKernel
+from repro.significance.mml import (
+    evaluate_cell,
+    most_significant,
+    reference_scan_order,
+)
 
 __all__ = [
     "DiscoveryEngine",
@@ -37,6 +44,10 @@ __all__ = [
     "rediscover",
 ]
 
+#: Scan implementations an engine can run: the vectorized kernel layer
+#: (default) or the scalar cell-by-cell oracle it is verified against.
+SCAN_BACKENDS = ("kernel", "reference")
+
 # Tolerance for the rerun re-verification chain's intermediate fits; the
 # per-order final fit (and therefore the resulting model) always uses the
 # configured tolerance.
@@ -44,10 +55,34 @@ _RERUN_CHAIN_TOL = 1e-5
 
 
 class DiscoveryEngine:
-    """Finds all statistically significant correlations in a table."""
+    """Finds all statistically significant correlations in a table.
 
-    def __init__(self, config: DiscoveryConfig | None = None):
+    Parameters
+    ----------
+    config:
+        Knobs of the Figure-3 procedure.
+    scan_backend:
+        ``"kernel"`` (default) runs the vectorized
+        :class:`~repro.significance.kernels.OrderScanKernel`, reusing
+        data-side statistics across adoptions within an order;
+        ``"reference"`` runs the scalar cell-by-cell oracle.  Both produce
+        bit-identical results — the seam exists so benchmarks and property
+        tests can enforce exactly that.
+    """
+
+    def __init__(
+        self,
+        config: DiscoveryConfig | None = None,
+        scan_backend: str = "kernel",
+    ):
         self.config = config or DiscoveryConfig()
+        if scan_backend not in SCAN_BACKENDS:
+            raise DataError(
+                f"unknown scan backend {scan_backend!r}; "
+                f"choose one of {SCAN_BACKENDS}"
+            )
+        self.scan_backend = scan_backend
+        self.profile = DiscoveryProfile()
 
     def run(self, table: ContingencyTable) -> DiscoveryResult:
         """Execute the full Figure-3 procedure on a contingency table."""
@@ -55,6 +90,7 @@ class DiscoveryEngine:
             raise DataError("cannot run discovery on an empty table")
         config = self.config
         schema = table.schema
+        self.profile = DiscoveryProfile()
         constraints = ConstraintSet.first_order(table)
         model = MaxEntModel.independent(
             schema,
@@ -68,7 +104,11 @@ class DiscoveryEngine:
             model = self._fit(constraints, model).model
         self._num_given = len(config.given_constraints)
         result = DiscoveryResult(
-            table=table, model=model, constraints=constraints, config=config
+            table=table,
+            model=model,
+            constraints=constraints,
+            config=config,
+            profile=self.profile,
         )
 
         highest_order = config.max_order or len(schema)
@@ -125,6 +165,7 @@ class DiscoveryEngine:
                 "rediscovery table schema does not match the previous "
                 "discovery's schema"
             )
+        self.profile = DiscoveryProfile()
         constraints = ConstraintSet.first_order(table)
         for given in config.given_constraints:
             # A-priori constraints keep their given targets; they are
@@ -133,7 +174,11 @@ class DiscoveryEngine:
         self._num_given = len(config.given_constraints)
         model = warm_start_model(constraints, previous.model)
         result = DiscoveryResult(
-            table=table, model=model, constraints=constraints, config=config
+            table=table,
+            model=model,
+            constraints=constraints,
+            config=config,
+            profile=self.profile,
         )
         # Sync the first-order factors to the merged table's margins (and
         # any given constraints) before the first re-verification.  Like
@@ -163,6 +208,7 @@ class DiscoveryEngine:
                     # re-adoption follows the original adoption order, so
                     # a lowered cap keeps the earliest adoptions.
                     break
+                verify_start = time.perf_counter()
                 test = evaluate_cell(
                     table,
                     model,
@@ -170,6 +216,9 @@ class DiscoveryEngine:
                     cell.values,
                     constraints,
                     config.priors,
+                )
+                self.profile.add_verify(
+                    time.perf_counter() - verify_start, 1
                 )
                 if not test.significant:
                     raise StaleConstraintError(
@@ -211,18 +260,45 @@ class DiscoveryEngine:
         model: MaxEntModel,
         result: DiscoveryResult,
     ) -> MaxEntModel:
-        """Repeat scan-adopt-refit at one order until nothing is significant."""
+        """Repeat scan-adopt-refit at one order until nothing is significant.
+
+        With the kernel backend one
+        :class:`~repro.significance.kernels.OrderScanKernel` serves the
+        whole loop: data-side statistics (counts, coefficient arrays,
+        feasible ranges) persist across adoptions and only the subsets a
+        new constraint touches are recomputed.
+        """
         config = self.config
+        profile = self.profile
+        kernel: OrderScanKernel | None = None
+        if self.scan_backend == "kernel":
+            kernel = OrderScanKernel(table, order, constraints, config.priors)
         while True:
-            tests = scan_order(table, model, order, constraints, config.priors)
+            scan_start = time.perf_counter()
+            if kernel is not None:
+                tests = kernel.scan(model)
+            else:
+                tests = reference_scan_order(
+                    table, model, order, constraints, config.priors
+                )
+            scan_seconds = time.perf_counter() - scan_start
             best = most_significant(tests)
-            if best is not None and self._at_capacity(constraints):
+            capped = best is not None and self._at_capacity(constraints)
+            if capped:
                 best = None
             if best is None:
+                # The terminating scan is the order's verification pass —
+                # unless the capacity cap cut it off mid-find, in which
+                # case it did real scanning work and is billed as such.
+                if capped:
+                    profile.add_scan(scan_seconds, len(tests))
+                else:
+                    profile.add_verify(scan_seconds, len(tests))
                 result.scans.append(
                     ScanRecord(order=order, tests=tests, chosen=None)
                 )
                 return model
+            profile.add_scan(scan_seconds, len(tests))
 
             constraint = constraints.cell_from_table(
                 table, best.attributes, best.values
@@ -236,6 +312,8 @@ class DiscoveryEngine:
                     ScanRecord(order=order, tests=tests, chosen=None)
                 )
                 return model
+            if kernel is not None:
+                kernel.notify_adopted(constraint.key)
             fit = self._fit(constraints, model)
             model = fit.model
             result.scans.append(
@@ -256,20 +334,24 @@ class DiscoveryEngine:
         config = self.config
         if tol is None:
             tol = config.tol
+        fit_start = time.perf_counter()
         if config.solver == "gevarter":
-            return fit_gevarter(
+            fit = fit_gevarter(
                 constraints,
                 initial=warm_start,
                 tol=tol,
                 max_sweeps=config.max_sweeps,
                 record_trace=False,
             )
-        return fit_ipf(
-            constraints,
-            initial=warm_start,
-            tol=tol,
-            max_sweeps=config.max_sweeps,
-        )
+        else:
+            fit = fit_ipf(
+                constraints,
+                initial=warm_start,
+                tol=tol,
+                max_sweeps=config.max_sweeps,
+            )
+        self.profile.add_fit(time.perf_counter() - fit_start, fit.sweeps)
+        return fit
 
     def _at_capacity(self, constraints: ConstraintSet) -> bool:
         cap = self.config.max_constraints

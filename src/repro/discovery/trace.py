@@ -16,6 +16,7 @@ base updatable with warm-started rediscovery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.data.contingency import ContingencyTable
 from repro.data.io import table_from_dict, table_to_dict
@@ -30,6 +31,9 @@ from repro.maxent.constraints import (
 )
 from repro.maxent.model import MaxEntModel
 from repro.significance.result import CellTest
+
+if TYPE_CHECKING:
+    from repro.significance.kernels import DiscoveryProfile
 
 
 @dataclass
@@ -55,13 +59,19 @@ class ScanRecord:
 
 @dataclass
 class DiscoveryResult:
-    """Everything produced by a discovery run."""
+    """Everything produced by a discovery run.
+
+    ``profile`` carries the engine's per-stage wall-clock instrumentation
+    (scan / fit / verify); it is observability, not part of the audit
+    trail, so it is not serialized and loaded results leave it ``None``.
+    """
 
     table: ContingencyTable
     model: MaxEntModel
     constraints: ConstraintSet
     scans: list[ScanRecord] = field(default_factory=list)
     config: DiscoveryConfig | None = None
+    profile: "DiscoveryProfile | None" = None
 
     @property
     def found(self) -> tuple[CellConstraint, ...]:

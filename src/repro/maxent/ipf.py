@@ -15,6 +15,16 @@ Factor bookkeeping keeps the paper's ``a`` values exact: every slice scaling
 multiplies the corresponding ``a`` factor, and complement scalings are
 absorbed into ``a0``.  This converges to the same fixed point as the paper's
 Gauss–Seidel scheme (:mod:`repro.maxent.gevarter`); the tests assert so.
+
+The sweeps are allocation-lean: the working tensor is created once and every
+scaling happens in place (broadcast ``*=`` on the tensor or on a slice), so a
+sweep allocates only the small per-constraint ratio arrays instead of one
+full-tensor copy per update.  The convergence check reuses the margin sums it
+computes: the first-order sums measured for the violation are handed to the
+next sweep, whose leading axis would otherwise recompute the identical
+reduction on the unchanged tensor.  Both changes are bitwise no-ops on the
+iteration path — same IEEE operations, same order — so fitted models are
+unchanged to the last ulp.
 """
 
 from __future__ import annotations
@@ -138,12 +148,15 @@ def fit_ipf(
         if names not in model.table_factors:
             model.table_factors[names] = np.ones(target.shape)
 
-    tensor = model.unnormalized() * model.a0
+    # The working tensor is allocated once; every subsequent scaling is an
+    # in-place broadcast multiply.
+    tensor = model.unnormalized()
+    tensor *= model.a0
     total = tensor.sum()
     if total <= 0:
         raise ConstraintError("initial model has zero total mass")
     model.a0 /= total
-    tensor = tensor / total
+    tensor /= total
 
     cell_slicers = {
         cell.key: _slicer(schema, cell.attributes, cell.values)
@@ -154,12 +167,16 @@ def fit_ipf(
     trace: list[dict[str, float]] = []
     converged = False
     sweeps = 0
-    violation = _max_violation(tensor, constraints, cell_slicers, schema)
+    violation, lead_sums = _max_violation(
+        tensor, constraints, cell_slicers, schema
+    )
     for sweeps in range(1, max_sweeps + 1):
-        tensor = _margin_sweep(tensor, constraints, model, schema)
-        tensor = _subset_margin_sweep(tensor, constraints, model, schema)
-        tensor = _cell_sweep(tensor, constraints, model, cell_slicers)
-        violation = _max_violation(tensor, constraints, cell_slicers, schema)
+        _margin_sweep(tensor, constraints, model, schema, lead_sums)
+        _subset_margin_sweep(tensor, constraints, model, schema)
+        _cell_sweep(tensor, constraints, model, cell_slicers)
+        violation, lead_sums = _max_violation(
+            tensor, constraints, cell_slicers, schema
+        )
         history.append(violation)
         if record_trace:
             trace.append(model.a_values())
@@ -190,11 +207,23 @@ def _slicer(schema, names, values) -> tuple:
     return tuple(slicer)
 
 
-def _margin_sweep(tensor, constraints, model, schema) -> np.ndarray:
+def _margin_sweep(
+    tensor, constraints, model, schema, lead_sums=None
+) -> None:
+    """One in-place pass over the first-order margins.
+
+    ``lead_sums`` is the leading axis's raw margin sums as last measured
+    by :func:`_max_violation`; the tensor has not changed since, so the
+    reduction is reused instead of recomputed.  Later axes always
+    recompute — the tensor changes under them during the sweep.
+    """
     for axis, attribute in enumerate(schema):
         target = constraints.margin(attribute.name)
-        other_axes = tuple(a for a in range(len(schema)) if a != axis)
-        current = tensor.sum(axis=other_axes)
+        if axis == 0 and lead_sums is not None:
+            current = lead_sums
+        else:
+            other_axes = tuple(a for a in range(len(schema)) if a != axis)
+            current = tensor.sum(axis=other_axes)
         ratio = np.ones_like(current)
         positive = current > 0
         ratio[positive] = target[positive] / current[positive]
@@ -208,12 +237,11 @@ def _margin_sweep(tensor, constraints, model, schema) -> np.ndarray:
         ratio[~positive] = 0.0
         shape = [1] * len(schema)
         shape[axis] = attribute.cardinality
-        tensor = tensor * ratio.reshape(shape)
+        tensor *= ratio.reshape(shape)
         model.margin_factors[attribute.name] *= ratio
-    return tensor
 
 
-def _subset_margin_sweep(tensor, constraints, model, schema) -> np.ndarray:
+def _subset_margin_sweep(tensor, constraints, model, schema) -> None:
     for names, target in constraints.subset_margins.items():
         axes = schema.axes(names)
         other_axes = tuple(a for a in range(len(schema)) if a not in axes)
@@ -231,12 +259,11 @@ def _subset_margin_sweep(tensor, constraints, model, schema) -> np.ndarray:
         shape = [1] * len(schema)
         for axis in axes:
             shape[axis] = schema.attributes[axis].cardinality
-        tensor = tensor * ratio.reshape(shape)
+        tensor *= ratio.reshape(shape)
         model.table_factors[names] = model.table_factors[names] * ratio
-    return tensor
 
 
-def _cell_sweep(tensor, constraints, model, cell_slicers) -> np.ndarray:
+def _cell_sweep(tensor, constraints, model, cell_slicers) -> None:
     for cell in constraints.cells:
         slicer = cell_slicers[cell.key]
         mass = float(tensor[slicer].sum())
@@ -245,7 +272,6 @@ def _cell_sweep(tensor, constraints, model, cell_slicers) -> np.ndarray:
         share = mass / total
         if target == 0.0:
             if share > 0.0:
-                tensor = tensor.copy()
                 tensor[slicer] = 0.0
                 model.cell_factors[cell.key] = 0.0
                 rescale = 1.0 / (1.0 - share)
@@ -259,20 +285,30 @@ def _cell_sweep(tensor, constraints, model, cell_slicers) -> np.ndarray:
             )
         ratio_in = target / share
         ratio_out = (1.0 - target) / (1.0 - share)
-        tensor = tensor * ratio_out
+        tensor *= ratio_out
         tensor[slicer] *= ratio_in / ratio_out
         model.cell_factors[cell.key] *= ratio_in / ratio_out
         model.a0 *= ratio_out
-    return tensor
 
 
-def _max_violation(tensor, constraints, cell_slicers, schema) -> float:
+def _max_violation(
+    tensor, constraints, cell_slicers, schema
+) -> tuple[float, np.ndarray]:
+    """Max absolute constraint violation, plus the leading axis's raw sums.
+
+    The returned sums let the next :func:`_margin_sweep` skip its first
+    reduction (the tensor is untouched between the check and the sweep).
+    """
     total = float(tensor.sum())
     worst = abs(total - 1.0)
+    lead_sums = None
     for axis, attribute in enumerate(schema):
         target = constraints.margin(attribute.name)
         other_axes = tuple(a for a in range(len(schema)) if a != axis)
-        current = tensor.sum(axis=other_axes) / total
+        raw = tensor.sum(axis=other_axes)
+        if axis == 0:
+            lead_sums = raw
+        current = raw / total
         worst = max(worst, float(np.abs(current - target).max()))
     for names, target in constraints.subset_margins.items():
         axes = schema.axes(names)
@@ -282,4 +318,4 @@ def _max_violation(tensor, constraints, cell_slicers, schema) -> float:
     for cell in constraints.cells:
         share = float(tensor[cell_slicers[cell.key]].sum()) / total
         worst = max(worst, abs(share - cell.probability))
-    return worst
+    return worst, lead_sums

@@ -174,8 +174,7 @@ class MaxEntModel:
     def marginal(self, names: Sequence[str]) -> np.ndarray:
         """Marginal probability array over ``names`` (schema order)."""
         ordered = self.schema.canonical_subset(names)
-        keep = set(self.schema.axes(ordered))
-        drop = tuple(ax for ax in range(len(self.schema)) if ax not in keep)
+        drop = self.schema.drop_axes(ordered)
         joint = self.joint()
         return joint.sum(axis=drop) if drop else joint
 

@@ -1,0 +1,415 @@
+"""Vectorized discovery-scan kernels: whole-order MML evaluation.
+
+The discovery loop (Figure 3) rescans every candidate cell after every
+adoption, which makes the scan the system's hottest path.  The scalar
+reference (:func:`repro.significance.mml.evaluate_cell` /
+:func:`repro.significance.mml.reference_scan_order`) walks cells one by
+one through dict-based counts and an O(constraints × subsets) feasible
+range; :class:`OrderScanKernel` evaluates an entire order's candidate pool
+with numpy array ops instead, splitting each test into
+
+- **data-side statistics** — observed marginal counts (from
+  :meth:`~repro.data.contingency.ContingencyTable.marginal_counts`'s cached
+  count tensors), ``ln C(N, k)`` coefficient arrays, and the Eq-41
+  feasible-range / determined tables built from lower-order count tensors
+  with constraint masks.  These depend only on the table and the constraint
+  set, so they are cached across adoptions within an order and selectively
+  invalidated when a constraint lands in a sharing subset
+  (:meth:`OrderScanKernel.notify_adopted`);
+- **model-side statistics** — predicted probabilities from one joint
+  marginalization per subset and the H1 message lengths, recomputed per
+  scan.
+
+**Bit-identity contract.**  The kernel's decisions are bit-identical to
+the scalar reference: every float in every emitted
+:class:`~repro.significance.result.CellTest` equals the scalar path's
+value exactly, so the greedy argmax can never flip on a near-tie.  This
+works because all transcendentals go through the same ``math.log`` /
+``math.lgamma`` libm calls the scalar path uses (numpy's SIMD ``log``
+differs in the last ulp), evaluated once per distinct integer count or
+range, while products, sums, ``sqrt`` and comparisons — which IEEE-754
+fixes exactly — run as array ops.  Benchmarks and property tests enforce
+the contract (``benchmarks/bench_discovery_scan.py``,
+``tests/significance/test_kernels.py``).
+
+:class:`DiscoveryProfile` is the instrumentation the kernels expose: the
+engine aggregates per-stage wall-clock (scan / fit / verify) into it, and
+``repro discover --profile`` renders it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import combinations
+from math import log
+
+import numpy as np
+
+from repro.data.contingency import ContingencyTable
+from repro.exceptions import DataError
+from repro.maxent.constraints import CellKey, ConstraintSet
+from repro.maxent.model import MaxEntModel
+from repro.significance.binomial import (
+    log_binomial_coefficients,
+    log_binomial_pmf_array,
+)
+from repro.significance.result import CellTest
+
+__all__ = ["DiscoveryProfile", "OrderScanKernel", "SubsetStats"]
+
+
+@dataclass
+class SubsetStats:
+    """Data-side statistics of one attribute subset's candidate cells.
+
+    All arrays are compressed to the candidate cells (not-yet-constrained),
+    in the same C-order the scalar scan visits them, so model-side work is
+    a fancy-index away.  Valid until a constraint lands in this subset or
+    in a contained lower-order subset.
+    """
+
+    names: tuple[str, ...]
+    shape: tuple[int, ...]
+    #: Joint-tensor axes summed away to marginalize onto this subset.
+    drop_axes: tuple[int, ...]
+    #: Candidate value tuples, in ``np.ndindex`` (C) order.
+    candidate_values: list[tuple[int, ...]]
+    #: Positions of the candidates in the raveled subset marginal.
+    flat_positions: np.ndarray
+    observed: np.ndarray
+    observed_float: np.ndarray
+    observed_list: list[int]
+    #: ``ln C(N, k)`` per candidate (the data term's constant part).
+    log_coeff: np.ndarray
+    #: Eq-41 feasible range per candidate.
+    feasible_list: list[int]
+    determined_list: list[bool]
+    #: H2's uniform-encoding term per candidate: ``ln(range + 1)``, or 0
+    #: where the cell is determined (Eq 41's ELSE branch).
+    h2_range_term: np.ndarray
+
+
+@dataclass
+class DiscoveryProfile:
+    """Per-stage wall-clock of a discovery run (scan / fit / verify).
+
+    ``scan`` covers candidate-pool evaluations that adopted a constraint;
+    ``verify`` covers the terminating scan of each order (the one that
+    confirmed nothing significant) and a rerun's per-constraint
+    re-verification tests; ``fit`` covers the solver.  Rendered by
+    ``repro discover --profile``.
+    """
+
+    scan_seconds: float = 0.0
+    scan_calls: int = 0
+    scan_cells: int = 0
+    verify_seconds: float = 0.0
+    verify_calls: int = 0
+    verify_cells: int = 0
+    fit_seconds: float = 0.0
+    fit_calls: int = 0
+    fit_sweeps: int = 0
+
+    def add_scan(self, seconds: float, cells: int) -> None:
+        self.scan_seconds += seconds
+        self.scan_calls += 1
+        self.scan_cells += cells
+
+    def add_verify(self, seconds: float, cells: int) -> None:
+        self.verify_seconds += seconds
+        self.verify_calls += 1
+        self.verify_cells += cells
+
+    def add_fit(self, seconds: float, sweeps: int) -> None:
+        self.fit_seconds += seconds
+        self.fit_calls += 1
+        self.fit_sweeps += sweeps
+
+    @property
+    def total_seconds(self) -> float:
+        return self.scan_seconds + self.verify_seconds + self.fit_seconds
+
+    def rows(self) -> list[list[str]]:
+        """Table rows (stage, calls, work, seconds, share) for rendering."""
+        total = self.total_seconds or 1.0
+        rows = []
+        for stage, seconds, calls, work in (
+            ("scan", self.scan_seconds, self.scan_calls,
+             f"{self.scan_cells} cells"),
+            ("fit", self.fit_seconds, self.fit_calls,
+             f"{self.fit_sweeps} sweeps"),
+            ("verify", self.verify_seconds, self.verify_calls,
+             f"{self.verify_cells} cells"),
+        ):
+            rows.append(
+                [stage, str(calls), work, f"{seconds:.4f}",
+                 f"{100.0 * seconds / total:.1f}%"]
+            )
+        return rows
+
+
+class OrderScanKernel:
+    """Array-native evaluation of one order's whole candidate pool.
+
+    One kernel serves one ``(table, order, constraints)`` triple across the
+    scan-adopt-refit loop: the engine calls :meth:`scan` once per
+    adoption round and :meth:`notify_adopted` after each adoption, so
+    data-side statistics survive across rounds for every subset the new
+    constraint does not touch.
+
+    The emitted :class:`~repro.significance.result.CellTest` list is
+    bit-identical to
+    :func:`repro.significance.mml.reference_scan_order` — same cells, same
+    order, same floats (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        table: ContingencyTable,
+        order: int,
+        constraints: ConstraintSet,
+        priors=None,
+    ):
+        from repro.significance.mml import MMLPriors
+
+        self.table = table
+        self.order = order
+        self.constraints = constraints
+        self.priors = priors or MMLPriors.equal()
+        self.schema = table.schema
+        self.total = table.total
+        self.subsets = table.subsets_of_order(order)
+        self._num_cells_at_order = table.num_cells_of_order(order)
+        self._stats: dict[tuple[str, ...], SubsetStats] = {}
+        # Exposed instrumentation (aggregated into DiscoveryProfile by the
+        # engine; also readable directly after standalone scans).
+        self.scan_calls = 0
+        self.cells_evaluated = 0
+        self.last_scan_seconds = 0.0
+        self.total_scan_seconds = 0.0
+
+    # -- cache management ---------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop all cached data-side statistics."""
+        self._stats.clear()
+
+    def notify_adopted(self, key: CellKey) -> None:
+        """Selectively invalidate after ``key`` joined the constraint set.
+
+        A new constraint changes the candidate mask and the Eq-41 sibling
+        terms of its own subset; a new *lower-order* constraint changes the
+        feasible bounds of every scanned subset containing it.  Subsets
+        sharing no attributes with the constraint keep their statistics.
+        """
+        names = key[0]
+        if len(names) > self.order:
+            return
+        if len(names) == self.order:
+            self._stats.pop(names, None)
+            return
+        contained = set(names)
+        for subset in list(self._stats):
+            if contained <= set(subset):
+                self._stats.pop(subset, None)
+
+    # -- scanning -----------------------------------------------------------------
+
+    def scan(self, model: MaxEntModel) -> list[CellTest]:
+        """Evaluate every candidate cell at this order against ``model``.
+
+        Equivalent to the scalar reference scan: one joint
+        materialization, one marginalization per subset, then pure array
+        arithmetic over the cached data-side statistics.
+        """
+        start = time.perf_counter()
+        constraints = self.constraints
+        order = self.order
+        n = self.total
+        found_at_order = len(constraints.cells_of_order(order))
+        pool = self._num_cells_at_order - found_at_order
+        m1_base = -log(self.priors.p_h1)
+        m2_base: float | None = None
+        joint = model.joint()
+        tests: list[CellTest] = []
+        for names in self.subsets:
+            stats = self._stats.get(names)
+            if stats is None:
+                stats = self._build_stats(names)
+                self._stats[names] = stats
+            if not stats.candidate_values:
+                continue
+            if pool < 1:
+                raise DataError(
+                    f"candidate pool at order {order} is {pool}; "
+                    f"no cells remain to choose from"
+                )
+            if m2_base is None:
+                m2_base = -log(self.priors.p_h2_prime) + log(pool)
+
+            # Model-side: one marginalization per subset, then arrays.
+            drop = stats.drop_axes
+            marginal = joint.sum(axis=drop) if drop else joint
+            predicted = marginal.ravel()[stats.flat_positions]
+            np.minimum(
+                np.maximum(predicted, 0.0, out=predicted), 1.0, out=predicted
+            )
+            lbp = log_binomial_pmf_array(
+                stats.observed, n, predicted, log_coefficients=stats.log_coeff
+            )
+            m1 = m1_base - lbp
+            m2 = m2_base + stats.h2_range_term
+            observed_float = stats.observed_float
+            mean = n * predicted
+            sd = np.sqrt(n * predicted * (1.0 - predicted))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                num_sd = (observed_float - mean) / sd
+            zero_sd = sd == 0.0
+            if zero_sd.any():
+                num_sd[zero_sd] = np.where(
+                    observed_float[zero_sd] == mean[zero_sd], 0.0, np.inf
+                )
+
+            predicted_list = predicted.tolist()
+            mean_list = mean.tolist()
+            sd_list = sd.tolist()
+            num_sd_list = num_sd.tolist()
+            m1_list = m1.tolist()
+            m2_list = m2.tolist()
+            observed_list = stats.observed_list
+            determined_list = stats.determined_list
+            feasible_list = stats.feasible_list
+            for i, values in enumerate(stats.candidate_values):
+                tests.append(
+                    CellTest(
+                        attributes=names,
+                        values=values,
+                        observed=observed_list[i],
+                        predicted_probability=predicted_list[i],
+                        mean=mean_list[i],
+                        sd=sd_list[i],
+                        num_sd=num_sd_list[i],
+                        m1=m1_list[i],
+                        m2=m2_list[i],
+                        determined=determined_list[i],
+                        feasible_range=feasible_list[i],
+                    )
+                )
+        elapsed = time.perf_counter() - start
+        self.scan_calls += 1
+        self.cells_evaluated += len(tests)
+        self.last_scan_seconds = elapsed
+        self.total_scan_seconds += elapsed
+        return tests
+
+    # -- data-side construction ---------------------------------------------------
+
+    def _build_stats(self, names: tuple[str, ...]) -> SubsetStats:
+        schema = self.schema
+        shape = tuple(schema.attribute(n).cardinality for n in names)
+        drop_axes = schema.drop_axes(names)
+        observed_full = self.table.marginal_counts(names)
+        mask = np.ones(shape, dtype=bool)
+        for cell in self.constraints.cells_of_order(self.order):
+            if cell.attributes == names:
+                mask[cell.values] = False
+        feasible_full, determined_full = self._feasible_tables(
+            names, shape, observed_full
+        )
+        flat_positions = np.flatnonzero(mask.ravel())
+        candidate_values = [
+            tuple(int(v) for v in index) for index in np.argwhere(mask)
+        ]
+        observed = observed_full.ravel()[flat_positions]
+        feasible = feasible_full.ravel()[flat_positions]
+        determined = determined_full.ravel()[flat_positions]
+        feasible_list = feasible.tolist()
+        # One math.log per distinct range keeps bit-identity with the
+        # scalar ``log(cell_range + 1)`` at O(distinct) cost.
+        log_by_range = {
+            value: log(value + 1) for value in np.unique(feasible).tolist()
+        }
+        log_range = np.array(
+            [log_by_range[value] for value in feasible_list], dtype=float
+        )
+        return SubsetStats(
+            names=names,
+            shape=shape,
+            drop_axes=drop_axes,
+            candidate_values=candidate_values,
+            flat_positions=flat_positions,
+            observed=observed,
+            observed_float=observed.astype(float),
+            observed_list=observed.tolist(),
+            log_coeff=log_binomial_coefficients(self.total, observed),
+            feasible_list=feasible_list,
+            determined_list=determined.tolist(),
+            h2_range_term=np.where(determined, 0.0, log_range),
+        )
+
+    def _feasible_tables(
+        self,
+        names: tuple[str, ...],
+        shape: tuple[int, ...],
+        observed_full: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Eq-41 range and determined tables for a whole subset at once.
+
+        Mirrors :func:`repro.significance.mml.feasible_range` for every
+        candidate cell of the subset: per contributing lower-order combo,
+        the bound is the combo's marginal count minus the counts of
+        already-significant same-subset cells sharing the projection, and
+        a cell is determined when some combo's sharing cells cover all its
+        siblings.  Pure integer arithmetic — exact by construction.
+        """
+        order = len(names)
+        constraints = self.constraints
+        same = [c for c in constraints.cells if c.attributes == names]
+        bounds = np.full(shape, self.total, dtype=np.int64)
+        determined = np.zeros(shape, dtype=bool)
+        for size in range(1, order):
+            for combo in combinations(range(order), size):
+                t_names = tuple(names[i] for i in combo)
+                t_shape = tuple(shape[i] for i in combo)
+                if size == 1:
+                    active = None
+                else:
+                    cons = [
+                        c for c in constraints.cells
+                        if c.attributes == t_names
+                    ]
+                    if not cons:
+                        continue
+                    active = np.zeros(t_shape, dtype=bool)
+                    for c in cons:
+                        active[c.values] = True
+                base = self.table.marginal_counts(t_names)
+                shared = np.zeros(t_shape, dtype=np.int64)
+                sharing = np.zeros(t_shape, dtype=np.int64)
+                for c in same:
+                    projection = tuple(c.values[i] for i in combo)
+                    shared[projection] += int(observed_full[c.values])
+                    sharing[projection] += 1
+                siblings = 1
+                for i in range(order):
+                    if i not in combo:
+                        siblings *= shape[i]
+                siblings -= 1
+                broadcast_shape = tuple(
+                    shape[i] if i in combo else 1 for i in range(order)
+                )
+                bound = (base - shared).reshape(broadcast_shape)
+                det = (sharing >= siblings).reshape(broadcast_shape)
+                if active is None:
+                    bounds = np.minimum(bounds, bound)
+                    determined |= det
+                else:
+                    active_full = np.broadcast_to(
+                        active.reshape(broadcast_shape), shape
+                    )
+                    bounds = np.where(
+                        active_full, np.minimum(bounds, bound), bounds
+                    )
+                    determined |= active_full & np.broadcast_to(det, shape)
+        return np.maximum(bounds, 0), determined

@@ -206,10 +206,35 @@ def scan_order(
 
     The returned list covers all attribute subsets of the order (the
     paper's "16 second order cells" for the smoking example), excluding
-    cells already adopted as constraints.  The model's dense joint is
-    materialized once for the whole scan and marginalized per subset —
-    the same numbers :meth:`~repro.maxent.model.MaxEntModel.probability`
-    would produce cell by cell, at a fraction of the cost.
+    cells already adopted as constraints.  Since the kernel layer landed
+    this delegates to the vectorized
+    :class:`~repro.significance.kernels.OrderScanKernel`, whose output is
+    bit-identical to the scalar reference
+    (:func:`reference_scan_order`); callers that scan repeatedly between
+    adoptions (the discovery engine) hold a kernel directly so data-side
+    statistics survive across rounds.
+    """
+    from repro.significance.kernels import OrderScanKernel
+
+    return OrderScanKernel(table, order, constraints, priors).scan(model)
+
+
+def reference_scan_order(
+    table: ContingencyTable,
+    model: MaxEntModel,
+    order: int,
+    constraints: ConstraintSet,
+    priors: MMLPriors | None = None,
+) -> list[CellTest]:
+    """The scalar oracle scan: one :func:`evaluate_cell` per candidate.
+
+    This is the original cell-by-cell implementation, kept as the
+    reference the vectorized kernel is property-tested against (and as
+    the baseline the scan benchmark measures).  The model's dense joint
+    is still materialized once for the whole scan and marginalized per
+    subset — the same numbers
+    :meth:`~repro.maxent.model.MaxEntModel.probability` would produce
+    cell by cell, at a fraction of the cost.
     """
     priors = priors or MMLPriors.equal()
     found_at_order = len(constraints.cells_of_order(order))
@@ -223,8 +248,7 @@ def scan_order(
             continue
         marginal = marginals.get(subset)
         if marginal is None:
-            keep = set(schema.axes(subset))
-            drop = tuple(ax for ax in range(len(schema)) if ax not in keep)
+            drop = schema.drop_axes(subset)
             marginal = joint.sum(axis=drop) if drop else joint
             marginals[subset] = marginal
         tests.append(

@@ -178,8 +178,69 @@ class TestCacheInvalidation:
     def test_explicit_invalidate(self, model):
         backend = DenseBackend(model)
         backend.joint()
+        backend.marginal(("CANCER",))
         backend.invalidate()
         assert backend._joint is None
+        assert not backend._marginals
+
+
+class TestDenseMarginalLRU:
+    def test_repeated_query_returns_cached_array(self, model):
+        backend = DenseBackend(model)
+        first = backend.marginal(("CANCER", "SMOKING"))
+        second = backend.marginal(("SMOKING", "CANCER"))
+        assert second is first  # same frozen array, canonical key
+
+    def test_cached_arrays_are_read_only(self, model):
+        backend = DenseBackend(model)
+        marginal = backend.marginal(("CANCER",))
+        with pytest.raises(ValueError):
+            marginal[0] = 0.5
+
+    def test_mutation_drops_marginal_cache(self, model):
+        backend = DenseBackend(model)
+        stale = backend.marginal(("CANCER",))
+        model.margin_factors["CANCER"] = model.margin_factors["CANCER"] * [
+            2.0,
+            1.0,
+        ]
+        model.normalize()
+        fresh = backend.marginal(("CANCER",))
+        assert fresh is not stale
+        np.testing.assert_allclose(fresh, model.marginal(("CANCER",)))
+
+    def test_lru_evicts_oldest(self, model):
+        backend = DenseBackend(model)
+        backend.MARGINAL_CACHE_SIZE = 2
+        backend.marginal(("SMOKING",))
+        backend.marginal(("CANCER",))
+        backend.marginal(("FAMILY_HISTORY",))
+        assert len(backend._marginals) == 2
+        assert ("SMOKING",) not in backend._marginals
+
+    def test_lru_recency_order(self, model):
+        backend = DenseBackend(model)
+        backend.MARGINAL_CACHE_SIZE = 2
+        backend.marginal(("SMOKING",))
+        backend.marginal(("CANCER",))
+        backend.marginal(("SMOKING",))  # refresh recency
+        backend.marginal(("FAMILY_HISTORY",))
+        assert ("SMOKING",) in backend._marginals
+        assert ("CANCER",) not in backend._marginals
+
+    def test_full_subset_returns_joint_uncached(self, model):
+        backend = DenseBackend(model)
+        names = model.schema.names
+        assert backend.marginal(names) is backend.joint()
+        assert names not in backend._marginals
+
+    def test_cached_values_match_model(self, model):
+        backend = DenseBackend(model)
+        for _ in range(2):
+            np.testing.assert_allclose(
+                backend.marginal(("SMOKING", "FAMILY_HISTORY")),
+                model.marginal(("SMOKING", "FAMILY_HISTORY")),
+            )
 
 
 # -- randomized dense/elimination equivalence (hypothesis) --------------------------

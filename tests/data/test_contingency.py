@@ -189,3 +189,40 @@ class TestRendering:
         single = ContingencyTable.zeros(Schema([Attribute("A", ("x", "y"))]))
         with pytest.raises(DataError):
             single.render()
+
+
+class TestMarginalCountsCache:
+    def test_same_frozen_array_returned(self, table):
+        first = table.marginal_counts(["SMOKING", "CANCER"])
+        second = table.marginal_counts(["CANCER", "SMOKING"])
+        assert second is first  # canonical key, computed once
+        assert not first.flags.writeable
+
+    def test_matches_uncached_marginal(self, table):
+        np.testing.assert_array_equal(
+            table.marginal_counts(["SMOKING", "FAMILY_HISTORY"]),
+            table.marginal(["SMOKING", "FAMILY_HISTORY"]),
+        )
+
+    def test_marginal_still_returns_mutable_copy(self, table):
+        marginal = table.marginal(["SMOKING"])
+        marginal[0] = 0  # must not raise, must not corrupt the cache
+        assert int(table.marginal_counts(["SMOKING"])[0]) == 1290
+
+    def test_full_subset_is_the_count_tensor(self, table):
+        assert table.marginal_counts(table.schema.names) is table.counts
+
+    def test_count_uses_cache(self, table):
+        assert table.count({"SMOKING": 0, "CANCER": 0}) == 240
+        assert table.count({"CANCER": 0, "SMOKING": 0}) == 240
+
+    def test_total_cached(self, table):
+        assert table.total == 3428
+        assert table._total == 3428
+        assert table.total == 3428
+
+    def test_sum_of_tables_has_fresh_cache(self, table):
+        doubled = table + table
+        assert doubled.marginal_counts(["SMOKING"]).tolist() == (
+            (2 * table.marginal_counts(["SMOKING"])).tolist()
+        )

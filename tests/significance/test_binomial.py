@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 from scipy import stats
 
@@ -10,7 +11,9 @@ from repro.significance.binomial import (
     binomial_mean,
     binomial_sd,
     log_binomial_coefficient,
+    log_binomial_coefficients,
     log_binomial_pmf,
+    log_binomial_pmf_array,
     standard_score,
 )
 
@@ -69,6 +72,110 @@ class TestLogPMF:
         value = log_binomial_pmf(240, 3428, 0.0475)
         assert math.isfinite(value)
         assert value < -20  # deep in the tail
+
+
+class TestCoefficientArray:
+    def test_bit_identical_to_scalar(self):
+        n = 3428
+        k = np.array([0, 1, 240, 1000, 3428])
+        expected = [log_binomial_coefficient(n, v) for v in k.tolist()]
+        assert log_binomial_coefficients(n, k).tolist() == expected
+
+    def test_preserves_shape(self):
+        result = log_binomial_coefficients(10, np.arange(6).reshape(2, 3))
+        assert result.shape == (2, 3)
+
+    def test_empty(self):
+        assert log_binomial_coefficients(10, np.array([], dtype=int)).size == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DataError):
+            log_binomial_coefficients(5, np.array([2, 6]))
+        with pytest.raises(DataError):
+            log_binomial_coefficients(5, np.array([-1, 2]))
+
+
+class TestLogPMFArray:
+    def test_bit_identical_to_scalar(self):
+        n = 3428
+        k = np.array([0, 240, 1000, 3428])
+        p = np.array([0.0475, 0.0475, 0.29, 0.999])
+        expected = [
+            log_binomial_pmf(int(ki), n, float(pi)) for ki, pi in zip(k, p)
+        ]
+        assert log_binomial_pmf_array(k, n, p).tolist() == expected
+
+    def test_p_zero_edge_regression(self):
+        """p = 0 entries take the exact degenerate limit.  An unguarded
+        vectorization computes ``0 * log(0) = nan`` at k = 0 (and an
+        unguarded scalar raises a math-domain error); both forms must
+        instead return the exact 0-probability limits."""
+        k = np.array([0, 3])
+        p = np.array([0.0, 0.0])
+        result = log_binomial_pmf_array(k, 10, p)
+        assert result[0] == 0.0
+        assert result[1] == float("-inf")
+        assert not np.isnan(result).any()
+        # Scalar agreement, element by element.
+        assert log_binomial_pmf(0, 10, 0.0) == result[0]
+        assert log_binomial_pmf(3, 10, 0.0) == result[1]
+
+    def test_p_one_edge_regression(self):
+        k = np.array([10, 9])
+        p = np.array([1.0, 1.0])
+        result = log_binomial_pmf_array(k, 10, p)
+        assert result[0] == 0.0
+        assert result[1] == float("-inf")
+        assert log_binomial_pmf(10, 10, 1.0) == result[0]
+        assert log_binomial_pmf(9, 10, 1.0) == result[1]
+
+    def test_mixed_edges_and_interior(self):
+        k = np.array([0, 5, 10, 0])
+        p = np.array([0.0, 0.4, 1.0, 0.4])
+        result = log_binomial_pmf_array(k, 10, p)
+        expected = [
+            log_binomial_pmf(int(ki), 10, float(pi)) for ki, pi in zip(k, p)
+        ]
+        assert result.tolist() == expected
+
+    def test_p_near_edges_stays_finite(self):
+        """Probabilities one ulp from the edges stay in the interior
+        branch and must not domain-error."""
+        tiny = float(np.nextafter(0.0, 1.0))
+        almost_one = float(np.nextafter(1.0, 0.0))
+        k = np.array([1, 9])
+        p = np.array([tiny, almost_one])
+        result = log_binomial_pmf_array(k, 10, p)
+        assert np.isfinite(result).all()
+        expected = [
+            log_binomial_pmf(int(ki), 10, float(pi)) for ki, pi in zip(k, p)
+        ]
+        assert result.tolist() == expected
+
+    def test_precomputed_coefficients_used(self):
+        k = np.array([2, 7])
+        p = np.array([0.3, 0.6])
+        coeff = log_binomial_coefficients(12, k)
+        assert log_binomial_pmf_array(
+            k, 12, p, log_coefficients=coeff
+        ).tolist() == log_binomial_pmf_array(k, 12, p).tolist()
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DataError):
+            log_binomial_pmf_array(np.array([1]), -1, np.array([0.5]))
+        with pytest.raises(DataError):
+            log_binomial_pmf_array(np.array([1]), 3, np.array([1.5]))
+        with pytest.raises(DataError):
+            log_binomial_pmf_array(np.array([1, 2]), 3, np.array([0.5]))
+
+    def test_rejects_out_of_range_k_with_precomputed_coefficients(self):
+        """The k-range check must not be bypassed when the coefficient
+        array is supplied (the scalar form always raises)."""
+        with pytest.raises(DataError):
+            log_binomial_pmf_array(
+                np.array([5]), 3, np.array([0.5]),
+                log_coefficients=np.zeros(1),
+            )
 
 
 class TestMoments:

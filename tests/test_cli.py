@@ -37,6 +37,25 @@ def test_discover_with_csv(capsys, schema, table, rng, tmp_path):
     assert "N=3000" in output
 
 
+def test_discover_profile(capsys):
+    assert main(["discover", "--profile", "--max-order", "2"]) == 0
+    output = capsys.readouterr().out
+    assert "discovery stage timings" in output
+    for stage in ("scan", "fit", "verify"):
+        assert stage in output
+    assert "sweeps" in output
+
+
+def test_discover_profile_with_save(capsys, tmp_path):
+    target = tmp_path / "kb.json"
+    assert main(
+        ["discover", "--profile", "--max-order", "2", "--save", str(target)]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "discovery stage timings" in output
+    assert target.exists()
+
+
 def test_recovery_command(capsys):
     assert main(["recovery", "--trials", "1"]) == 0
     output = capsys.readouterr().out
