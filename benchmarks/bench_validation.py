@@ -7,7 +7,6 @@ population is calibrated on the other half (every reliability bin within
 (Jaccard > 0.5 across folds).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.validation import (

@@ -11,10 +11,12 @@ Usage::
 ``--json`` measures the discovery hot path directly — per-order scan time
 (scalar reference vs vectorized kernel, cold and warm), full kernel- and
 reference-backed discovery runs, and the engine's per-stage split — checks
-that the vectorized and reference decisions are identical, and appends one
-record to a trajectory file (default ``BENCH_discovery.json`` at the repo
-root).  The file is a JSON list, one record per invocation, so successive
-runs chart the scan path's performance over time.
+that the vectorized and reference decisions are identical, runs the
+scenario conformance matrix (``repro.scenarios``) and embeds its
+per-scenario precision/recall/KL/stage metrics, and appends one record to
+a trajectory file (default ``BENCH_discovery.json`` at the repo root).
+The file is a JSON list, one record per invocation, so successive runs
+chart both the scan path's performance and conformance quality over time.
 """
 
 from __future__ import annotations
@@ -52,8 +54,6 @@ def measure_discovery(smoke: bool) -> dict:
     ``_discovery_scenario``, the same module the enforced benchmark uses,
     so trajectory records stay comparable to the CI-asserted numbers.
     """
-    import numpy as np
-
     from _discovery_scenario import (
         ORDER,
         best_of,
@@ -126,6 +126,22 @@ def measure_discovery(smoke: bool) -> dict:
     }
 
 
+def measure_scenarios(smoke: bool) -> list[dict]:
+    """Per-scenario conformance metrics for the trajectory record.
+
+    Baselines are skipped — the trajectory tracks the paper's own engine;
+    the conformance runner's selector comparison lives in the CI
+    scenario-matrix job and ``repro scenarios run``.  Gate misses are
+    embedded in the records (``gate_failures`` / ``passed``), not raised:
+    the caller appends the record *first* and fails after, so a gate miss
+    still ships the metrics that explain it.
+    """
+    from repro.scenarios import outcome_to_dict, run_matrix
+
+    outcomes = run_matrix(smoke=smoke, include_baselines=False)
+    return [outcome_to_dict(outcome) for outcome in outcomes]
+
+
 def append_trajectory(path: Path, record: dict) -> None:
     history: list = []
     if path.exists():
@@ -176,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
         sys.path.insert(0, str(REPO_ROOT / "src"))
         started = time.time()
         metrics = measure_discovery(args.smoke)
+        scenarios = measure_scenarios(args.smoke)
         record = {
             "timestamp": time.strftime(
                 "%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)
@@ -183,12 +200,30 @@ def main(argv: list[str] | None = None) -> int:
             "smoke": args.smoke,
             "python": platform.python_version(),
             "metrics": metrics,
+            "scenarios": scenarios,
         }
         path = Path(args.json)
         append_trajectory(path, record)
+        failed = [
+            f"{entry['scenario']}: {failure}"
+            for entry in scenarios
+            for failure in entry.get("gate_failures", [])
+        ]
+        if failed:
+            # The record (with the failing metrics embedded) is already
+            # on disk — exactly the diagnostic a gate miss needs.
+            print(
+                f"trajectory record appended to {path}; scenario "
+                f"conformance gates missed:",
+                file=sys.stderr,
+            )
+            for failure in failed:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
         print(
             f"trajectory record appended to {path} "
-            f"(warm scan speedup {metrics['scan_speedup_warm']:.1f}x)"
+            f"(warm scan speedup {metrics['scan_speedup_warm']:.1f}x, "
+            f"{len(scenarios)} scenarios conformant)"
         )
     return status
 

@@ -50,7 +50,6 @@ def main(n: int = 50000) -> None:
     for evidence, target in scenarios:
         distribution = kb.distribution(target, evidence)
         evidence_text = ", ".join(f"{k}={v}" for k, v in evidence.items())
-        risky = max(distribution, key=lambda k: (k != "no", distribution[k]))
         print(
             f"  P({target}=... | {evidence_text}) = "
             + ", ".join(f"{k}:{p:.3f}" for k, p in distribution.items())

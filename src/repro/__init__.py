@@ -76,6 +76,14 @@ from repro.maxent.dual import fit_dual
 from repro.maxent.gevarter import fit_gevarter
 from repro.maxent.ipf import fit_ipf, warm_start_model
 from repro.maxent.model import MaxEntModel
+from repro.scenarios import (
+    ConformanceGates,
+    Scenario,
+    ScenarioOutcome,
+    run_matrix,
+    run_scenario,
+    scenario_names,
+)
 from repro.significance.kernels import DiscoveryProfile, OrderScanKernel
 from repro.significance.mml import (
     MMLPriors,
@@ -89,6 +97,7 @@ __version__ = "1.2.0"
 __all__ = [
     "Attribute",
     "CellConstraint",
+    "ConformanceGates",
     "ConstraintError",
     "ConstraintSet",
     "ContingencyTable",
@@ -119,6 +128,8 @@ __all__ = [
     "RuleEngine",
     "RuleGenerator",
     "RuleSet",
+    "Scenario",
+    "ScenarioOutcome",
     "Schema",
     "SchemaError",
     "StaleConstraintError",
@@ -140,6 +151,9 @@ __all__ = [
     "reference_scan_order",
     "register_backend",
     "register_estimator",
+    "run_matrix",
+    "run_scenario",
     "scan_order",
+    "scenario_names",
     "warm_start_model",
 ]

@@ -105,7 +105,8 @@ def discover_bic(
             for subset, values, observed in table.cells_of_order(order):
                 if constraints.has_cell((subset, values)):
                     continue
-                if _screening_gain(table, model, subset, values, observed) <= penalty / 2.0:
+                gain = _screening_gain(table, model, subset, values, observed)
+                if gain <= penalty / 2.0:
                     continue
                 candidate = constraints.copy()
                 try:

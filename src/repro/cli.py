@@ -14,6 +14,8 @@ Usage::
     repro query "CANCER=yes | SMOKING=smoker"   # probability queries
     repro query --batch queries.txt --backend elimination
     repro query --mpe --given "SMOKING=smoker"  # most probable explanation
+    repro scenarios list                        # registered workloads
+    repro scenarios run --smoke --json -        # conformance matrix (CI gate)
 """
 
 from __future__ import annotations
@@ -144,6 +146,59 @@ def main(argv: list[str] | None = None) -> int:
         "--given", help='evidence for --mpe, e.g. "SMOKING=smoker"'
     )
 
+    scenarios_parser = subparsers.add_parser(
+        "scenarios",
+        help="list or run the scenario conformance matrix",
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(
+        dest="action", required=True
+    )
+    scenarios_sub.add_parser(
+        "list", help="show the registered scenario workloads"
+    )
+    scenarios_run = scenarios_sub.add_parser(
+        "run",
+        help=(
+            "run discovery + baselines on every registered scenario, "
+            "score conformance, and fail on any gate miss"
+        ),
+    )
+    scenarios_run.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    scenarios_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "small sample sizes (also enabled by REPRO_BENCH_SMOKE=1, "
+            "the CI convention)"
+        ),
+    )
+    scenarios_run.add_argument(
+        "--full",
+        action="store_true",
+        help="force full sample sizes even under REPRO_BENCH_SMOKE=1",
+    )
+    scenarios_run.add_argument(
+        "--no-baselines",
+        action="store_true",
+        help="skip the chi-square / BIC baseline selectors",
+    )
+    scenarios_run.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "emit per-scenario metrics as JSON to PATH ('-' or no value: "
+            "stdout) instead of the text report"
+        ),
+    )
+
     args = parser.parse_args(argv)
     if args.command == "figure1":
         print(harness.reproduce_figure1())
@@ -219,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
             print(generate_report())
     elif args.command == "query":
         return _run_query(args)
+    elif args.command == "scenarios":
+        return _run_scenarios(args)
     return 0
 
 
@@ -335,6 +392,77 @@ def _run_query_inner(args) -> int:
     values = session.batch(texts)
     for text, value in zip(texts, values):
         print(f"{session.compile(text).description} = {value:.6f}")
+    return 0
+
+
+def _run_scenarios(args) -> int:
+    from repro.exceptions import ReproError
+
+    try:
+        return _run_scenarios_inner(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_scenarios_inner(args) -> int:
+    import json
+    import os
+
+    from repro.eval.conformance import conformance_report
+    from repro.eval.tables import format_table
+    from repro.scenarios import (
+        all_scenarios,
+        outcome_to_dict,
+        run_matrix,
+    )
+
+    if args.action == "list":
+        headers = ["name", "order", "smoke N", "full N", "tags", "description"]
+        rows = [
+            [
+                scenario.name,
+                scenario.max_order,
+                scenario.smoke_samples,
+                scenario.full_samples,
+                ",".join(scenario.tags),
+                scenario.description,
+            ]
+            for scenario in all_scenarios()
+        ]
+        print(format_table(headers, rows))
+        return 0
+
+    smoke = args.smoke or os.environ.get("REPRO_BENCH_SMOKE") == "1"
+    if args.full:
+        smoke = False
+    outcomes = run_matrix(
+        names=args.scenario,
+        smoke=smoke,
+        include_baselines=not args.no_baselines,
+    )
+    if args.json is not None:
+        payload = json.dumps(
+            [outcome_to_dict(outcome) for outcome in outcomes], indent=2
+        )
+        if args.json == "-":
+            print(payload)
+        else:
+            from pathlib import Path
+
+            Path(args.json).write_text(payload + "\n")
+            print(f"scenario metrics written to {args.json}", file=sys.stderr)
+    else:
+        print(conformance_report(outcomes))
+    failed = [outcome for outcome in outcomes if not outcome.passed]
+    if failed:
+        for outcome in failed:
+            for failure in outcome.gate_failures:
+                print(
+                    f"conformance gate miss: {outcome.scenario}: {failure}",
+                    file=sys.stderr,
+                )
+        return 1
     return 0
 
 

@@ -17,7 +17,7 @@ acquired knowledge base:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import exp, log
+from math import exp
 
 import numpy as np
 

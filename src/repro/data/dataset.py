@@ -140,7 +140,9 @@ class Dataset:
         np.add.at(counts, tuple(self.rows.T), 1)
         return ContingencyTable(self.schema, counts)
 
-    def split(self, fraction: float, rng: np.random.Generator) -> tuple["Dataset", "Dataset"]:
+    def split(
+        self, fraction: float, rng: np.random.Generator
+    ) -> tuple["Dataset", "Dataset"]:
         """Random split into two datasets (e.g. train / holdout)."""
         if not 0.0 < fraction < 1.0:
             raise DataError(f"fraction must be in (0, 1), got {fraction}")

@@ -2,12 +2,19 @@
 
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.engine import DiscoveryEngine, discover
-from repro.discovery.trace import DiscoveryResult, ScanRecord
+from repro.discovery.trace import (
+    ConstraintRecovery,
+    DiscoveryResult,
+    ScanRecord,
+    score_constraint_keys,
+)
 
 __all__ = [
+    "ConstraintRecovery",
     "DiscoveryConfig",
     "DiscoveryEngine",
     "DiscoveryResult",
     "ScanRecord",
     "discover",
+    "score_constraint_keys",
 ]

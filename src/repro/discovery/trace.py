@@ -57,6 +57,47 @@ class ScanRecord:
         return [t for t in self.tests if t.significant]
 
 
+@dataclass(frozen=True)
+class ConstraintRecovery:
+    """How a set of adopted constraint keys compares to a ground truth.
+
+    The convention matches :func:`repro.synth.generators.recovery_score`:
+    a truth cell counts as recovered only if its exact key was adopted,
+    and every non-truth adoption is a false alarm.  With empty truth and
+    no adoptions both precision and recall are 1.0 (the null scenario's
+    perfect outcome); finding *nothing* when truth is non-empty scores
+    0.0 on both, so a find-nothing regression can never pass a
+    precision-only gate vacuously.
+    """
+
+    precision: float
+    recall: float
+    hits: tuple[CellKey, ...]
+    false_alarms: tuple[CellKey, ...]
+    missed: tuple[CellKey, ...]
+
+
+def score_constraint_keys(
+    truth: set[CellKey], found: set[CellKey]
+) -> ConstraintRecovery:
+    """Precision/recall of ``found`` constraint keys against ``truth``."""
+    hits = truth & found
+    false_alarms = found - truth
+    missed = truth - found
+    if found:
+        precision = len(hits) / len(found)
+    else:
+        precision = 1.0 if not truth else 0.0
+    recall = len(hits) / len(truth) if truth else 1.0
+    return ConstraintRecovery(
+        precision=precision,
+        recall=recall,
+        hits=tuple(sorted(hits)),
+        false_alarms=tuple(sorted(false_alarms)),
+        missed=tuple(sorted(missed)),
+    )
+
+
 @dataclass
 class DiscoveryResult:
     """Everything produced by a discovery run.
@@ -77,6 +118,18 @@ class DiscoveryResult:
     def found(self) -> tuple[CellConstraint, ...]:
         """Cell constraints adopted, in discovery order."""
         return self.constraints.cells
+
+    def adopted_keys(self) -> set[CellKey]:
+        """Keys of every adopted cell constraint (order-independent)."""
+        return {cell.key for cell in self.constraints.cells}
+
+    def score_against(self, truth: set[CellKey]) -> ConstraintRecovery:
+        """Score the adopted constraints against known ground truth.
+
+        The hook that turns a discovery run on a generated workload into
+        a conformance measurement (see :mod:`repro.scenarios`).
+        """
+        return score_constraint_keys(set(truth), self.adopted_keys())
 
     def found_at_order(self, order: int) -> tuple[CellConstraint, ...]:
         return self.constraints.cells_of_order(order)

@@ -1,6 +1,18 @@
 """Evaluation: paper fixtures, table rendering, experiment harness."""
 
+from repro.eval.conformance import (
+    conformance_report,
+    render_baseline_comparison,
+    render_conformance_matrix,
+)
 from repro.eval.paper import paper_schema, paper_table
 from repro.eval.tables import format_table
 
-__all__ = ["format_table", "paper_schema", "paper_table"]
+__all__ = [
+    "conformance_report",
+    "format_table",
+    "paper_schema",
+    "paper_table",
+    "render_baseline_comparison",
+    "render_conformance_matrix",
+]

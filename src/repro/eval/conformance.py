@@ -1,0 +1,117 @@
+"""Rendering of scenario-conformance results as report tables.
+
+Consumed by ``repro scenarios run`` and ``examples/scenario_tour.py``:
+one matrix table (per-scenario recovery / KL / stage timings / gate
+verdict) plus a selector-comparison table pitting the paper's MML
+criterion against the chi-square and BIC baselines on every scenario.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.eval.tables import format_table
+from repro.scenarios.runner import ScenarioOutcome
+
+__all__ = [
+    "conformance_report",
+    "render_baseline_comparison",
+    "render_conformance_matrix",
+]
+
+
+def render_conformance_matrix(outcomes: Sequence[ScenarioOutcome]) -> str:
+    """The per-scenario conformance table."""
+    headers = [
+        "scenario",
+        "N",
+        "attrs",
+        "order",
+        "truth",
+        "found",
+        "precision",
+        "recall",
+        "KL",
+        "scan s",
+        "fit s",
+        "total s",
+        "gates",
+    ]
+    rows = []
+    for outcome in outcomes:
+        rows.append(
+            [
+                outcome.scenario,
+                outcome.n_samples,
+                outcome.num_attributes,
+                outcome.max_order,
+                outcome.truth_size,
+                outcome.constraints_found,
+                outcome.precision,
+                outcome.recall,
+                format(outcome.kl_empirical_fitted, ".4f"),
+                format(outcome.scan_seconds, ".3f"),
+                format(outcome.fit_seconds, ".3f"),
+                format(outcome.seconds, ".3f"),
+                "pass" if outcome.passed else "FAIL",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def render_baseline_comparison(outcomes: Sequence[ScenarioOutcome]) -> str:
+    """MML vs baseline selectors, one row per scenario and selector."""
+    headers = ["scenario", "selector", "precision", "recall", "found", "s"]
+    rows = []
+    for outcome in outcomes:
+        rows.append(
+            [
+                outcome.scenario,
+                "mml",
+                outcome.precision,
+                outcome.recall,
+                outcome.constraints_found,
+                format(outcome.seconds, ".3f"),
+            ]
+        )
+        for baseline in outcome.baselines:
+            rows.append(
+                [
+                    outcome.scenario,
+                    baseline.selector,
+                    baseline.precision,
+                    baseline.recall,
+                    baseline.found,
+                    format(baseline.seconds, ".3f"),
+                ]
+            )
+    if not rows:
+        return "(no outcomes)"
+    return format_table(headers, rows)
+
+
+def conformance_report(outcomes: Sequence[ScenarioOutcome]) -> str:
+    """Full text report: matrix, failures, and baseline comparison."""
+    mode = "smoke" if (outcomes and outcomes[0].smoke) else "full"
+    lines = [
+        f"SCENARIO CONFORMANCE MATRIX ({len(outcomes)} scenarios, "
+        f"{mode} mode)",
+        "",
+        render_conformance_matrix(outcomes),
+    ]
+    failures = [o for o in outcomes if not o.passed]
+    if failures:
+        lines.append("")
+        lines.append("gate failures:")
+        for outcome in failures:
+            for failure in outcome.gate_failures:
+                lines.append(f"  {outcome.scenario}: {failure}")
+    else:
+        lines.append("")
+        lines.append("all conformance gates passed")
+    if any(o.baselines for o in outcomes):
+        lines.append("")
+        lines.append("selector comparison (MML vs baselines):")
+        lines.append("")
+        lines.append(render_baseline_comparison(outcomes))
+    return "\n".join(lines)

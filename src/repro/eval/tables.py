@@ -30,7 +30,9 @@ def format_table(
                 f"row {number} has {len(row)} cells, header has {columns}"
             )
     widths = [
-        max(len(headers[c]), *(len(r[c]) for r in rendered)) if rendered else len(headers[c])
+        max(len(headers[c]), *(len(r[c]) for r in rendered))
+        if rendered
+        else len(headers[c])
         for c in range(columns)
     ]
     lines = [

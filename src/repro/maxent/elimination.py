@@ -23,7 +23,6 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
-from repro.data.schema import Schema
 from repro.exceptions import QueryError
 from repro.maxent.model import MaxEntModel
 

@@ -1,0 +1,35 @@
+"""Scenario conformance matrix: diverse discovery workloads with gates."""
+
+from repro.scenarios.registry import (
+    ConformanceGates,
+    Scenario,
+    ScenarioInstance,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+    unregister,
+)
+from repro.scenarios.runner import (
+    BaselineScore,
+    ScenarioOutcome,
+    outcome_to_dict,
+    run_matrix,
+    run_scenario,
+)
+
+__all__ = [
+    "BaselineScore",
+    "ConformanceGates",
+    "Scenario",
+    "ScenarioInstance",
+    "ScenarioOutcome",
+    "all_scenarios",
+    "get_scenario",
+    "outcome_to_dict",
+    "register",
+    "run_matrix",
+    "run_scenario",
+    "scenario_names",
+    "unregister",
+]

@@ -1,0 +1,472 @@
+"""Registry of named, seeded discovery workloads with known ground truth.
+
+The ROADMAP's north star asks for "as many scenarios as you can imagine";
+this module is where they live.  Each :class:`Scenario` is a generative
+workload — a seeded builder that produces a contingency table plus the
+exact set of constraint keys a perfect discovery run would adopt — along
+with per-scenario :class:`ConformanceGates` that CI enforces in smoke mode
+(``REPRO_BENCH_SMOKE=1``) and benchmarks track at full size.
+
+The built-in matrix spans the structural axes that stress different parts
+of the pipeline: a null world (false-alarm control), a single strong
+pairwise link, chained pairwise dependencies, a genuine order-3
+interaction, a near-deterministic rule, heavily skewed margins,
+high-cardinality attributes, sparse counts, EM-completed missing data, and
+a drifting stream accumulated through :class:`~repro.data.streaming.TableBuilder`.
+
+Scenarios are deterministic: the builder receives a generator seeded with
+``Scenario.seed``, so two builds of the same scenario at the same size
+produce identical tables — which is what lets the conformance gates be
+exact assertions rather than statistical hopes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.contingency import ContingencyTable
+from repro.data.missing import MISSING, IncompleteDataset, complete_table
+from repro.data.streaming import TableBuilder
+from repro.exceptions import DataError
+from repro.maxent.constraints import CellKey
+from repro.synth.generators import (
+    PlantedPopulation,
+    build_planted_population,
+    chained_population,
+    drifted_margins,
+    independent_population,
+    near_deterministic_population,
+    random_planted_population,
+    skewed_population,
+)
+from repro.synth.surveys import medical_survey_population, telemetry_population
+
+__all__ = [
+    "ConformanceGates",
+    "Scenario",
+    "ScenarioInstance",
+    "all_scenarios",
+    "get_scenario",
+    "register",
+    "scenario_names",
+    "unregister",
+]
+
+
+@dataclass(frozen=True)
+class ConformanceGates:
+    """Machine-checkable quality floor for one scenario.
+
+    ``min_precision`` / ``min_recall`` bound the recovery of the planted
+    ground truth; ``max_kl`` bounds KL(empirical ‖ fitted) in nats (how
+    much of the sample the fitted model fails to explain);
+    ``max_false_alarms`` caps adoptions outside the ground truth (the only
+    meaningful gate for the null scenario).  Gates apply in both smoke and
+    full modes — scenario sizes are chosen so the smoke run already meets
+    them with headroom.
+    """
+
+    min_precision: float = 0.0
+    min_recall: float = 0.0
+    max_kl: float = float("inf")
+    max_false_alarms: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("min_precision", "min_recall"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise DataError(f"{name} must be in [0, 1], got {value}")
+        if self.max_kl <= 0:
+            raise DataError(f"max_kl must be positive, got {self.max_kl}")
+        if self.max_false_alarms is not None and self.max_false_alarms < 0:
+            raise DataError(
+                f"max_false_alarms must be >= 0, got {self.max_false_alarms}"
+            )
+
+
+@dataclass
+class ScenarioInstance:
+    """One materialized workload: the table discovery sees plus the truth.
+
+    ``truth`` holds the constraint keys of the planted structure;
+    ``population`` is kept when the instance came from a
+    :class:`~repro.synth.generators.PlantedPopulation` so callers can
+    inspect the generating joint.
+    """
+
+    table: ContingencyTable
+    truth: frozenset[CellKey]
+    population: PlantedPopulation | None = None
+
+
+#: Signature of a scenario builder: seeded generator + sample size in,
+#: materialized instance out.
+ScenarioBuilder = Callable[[np.random.Generator, int], ScenarioInstance]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seeded, generative discovery workload.
+
+    ``gates`` is the smoke-mode contract CI enforces.  ``full_gates``
+    (defaulting to ``gates``) covers full-size runs, where the strict
+    exact-key scoring convention legitimately reports lower precision: a
+    planted cell shifts adjacent cells of the same marginal, and with
+    enough samples those genuinely shifted neighbours become significant
+    too, counting as "false" alarms even though the joint really moved.
+    """
+
+    name: str
+    description: str
+    seed: int
+    builder: ScenarioBuilder
+    max_order: int = 2
+    smoke_samples: int = 4000
+    full_samples: int = 40000
+    gates: ConformanceGates = field(default_factory=ConformanceGates)
+    full_gates: ConformanceGates | None = None
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise DataError(
+                f"scenario name must be non-empty without whitespace, "
+                f"got {self.name!r}"
+            )
+        if self.max_order < 2:
+            raise DataError(f"max_order must be >= 2, got {self.max_order}")
+        if self.smoke_samples < 1 or self.full_samples < self.smoke_samples:
+            raise DataError(
+                "need 1 <= smoke_samples <= full_samples, got "
+                f"{self.smoke_samples} / {self.full_samples}"
+            )
+
+    def sample_size(self, smoke: bool) -> int:
+        return self.smoke_samples if smoke else self.full_samples
+
+    def gates_for(self, smoke: bool) -> ConformanceGates:
+        if smoke or self.full_gates is None:
+            return self.gates
+        return self.full_gates
+
+    def build(self, smoke: bool = True) -> ScenarioInstance:
+        """Materialize the workload (deterministic for a given size)."""
+        rng = np.random.default_rng(self.seed)
+        return self.builder(rng, self.sample_size(smoke))
+
+
+# -- registry ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry; duplicate names are an error."""
+    if scenario.name in _REGISTRY:
+        raise DataError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario (mainly for tests registering temporaries)."""
+    if name not in _REGISTRY:
+        raise DataError(f"no scenario named {name!r}")
+    del _REGISTRY[name]
+
+
+def get_scenario(name: str) -> Scenario:
+    if name not in _REGISTRY:
+        raise DataError(
+            f"no scenario named {name!r}; registered: {scenario_names()}"
+        )
+    return _REGISTRY[name]
+
+
+def scenario_names() -> list[str]:
+    """Registered names, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_scenarios() -> Iterator[Scenario]:
+    yield from _REGISTRY.values()
+
+
+# -- built-in scenario builders ----------------------------------------------------
+
+
+def _population_instance(
+    population: PlantedPopulation, rng: np.random.Generator, n: int
+) -> ScenarioInstance:
+    return ScenarioInstance(
+        table=population.sample_table(n, rng),
+        truth=frozenset(population.planted_keys()),
+        population=population,
+    )
+
+
+def _independence(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    return _population_instance(independent_population(rng, 4), rng, n)
+
+
+def _single_pairwise(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    population = random_planted_population(
+        rng, num_attributes=4, num_planted=1, strength=4.0, order=2
+    )
+    return _population_instance(population, rng, n)
+
+
+def _chained_pairwise(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    population = chained_population(rng, num_attributes=5, strength=3.5)
+    return _population_instance(population, rng, n)
+
+
+def _order3_interaction(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    return _population_instance(medical_survey_population(), rng, n)
+
+
+def _near_deterministic(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    population = near_deterministic_population(rng, strength=40.0)
+    return _population_instance(population, rng, n)
+
+
+def _skewed_marginals(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    population = skewed_population(
+        rng, num_attributes=4, skew=8.0, num_planted=1, strength=5.0
+    )
+    return _population_instance(population, rng, n)
+
+
+def _high_cardinality(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    population = random_planted_population(
+        rng,
+        num_attributes=3,
+        num_planted=2,
+        strength=4.0,
+        order=2,
+        min_values=5,
+        max_values=6,
+    )
+    return _population_instance(population, rng, n)
+
+
+def _sparse_counts(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    population = random_planted_population(
+        rng, num_attributes=5, num_planted=2, strength=3.0, order=2
+    )
+    return _population_instance(population, rng, n)
+
+
+def _missing_data(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    """Telemetry samples with 15% MCAR blanks, EM-completed before discovery."""
+    population = telemetry_population()
+    dataset = population.sample(n, rng)
+    rows = np.array(dataset.rows)
+    mask = rng.random(rows.shape) < 0.15
+    # Never blank out an entire sample; EM needs at least one observed field.
+    all_missing = mask.all(axis=1)
+    mask[all_missing, 0] = False
+    rows[mask] = MISSING
+    incomplete = IncompleteDataset(population.schema, rows)
+    table, _em = complete_table(incomplete)
+    return ScenarioInstance(
+        table=table,
+        truth=frozenset(population.planted_keys()),
+        population=population,
+    )
+
+
+def _streaming_drift(rng: np.random.Generator, n: int) -> ScenarioInstance:
+    """Two stream phases with drifted margins but stable planted structure.
+
+    The associations (what discovery should find) persist across the
+    drift; only the margins move.  The table accumulates through
+    :class:`~repro.data.streaming.TableBuilder`, the ingestion path the
+    lifecycle layer uses.
+    """
+    base = chained_population(rng, num_attributes=4, strength=3.5)
+    margins = {
+        name: base.joint.sum(
+            axis=tuple(a for a in range(len(base.schema)) if a != axis)
+        )
+        for axis, name in enumerate(base.schema.names)
+    }
+    shifted = build_planted_population(
+        base.schema, drifted_margins(rng, margins, drift=0.5), base.planted
+    )
+    builder = TableBuilder(base.schema)
+    first = n // 2
+    builder.add_table(base.sample_table(first, rng))
+    builder.add_table(shifted.sample_table(n - first, rng))
+    return ScenarioInstance(
+        table=builder.snapshot(),
+        truth=frozenset(base.planted_keys()),
+        population=base,
+    )
+
+
+def _register_builtins() -> None:
+    register(
+        Scenario(
+            name="independence",
+            description="4 independent attributes; nothing to find "
+            "(false-alarm control)",
+            seed=101,
+            builder=_independence,
+            max_order=3,
+            gates=ConformanceGates(
+                min_precision=1.0,
+                min_recall=1.0,
+                max_kl=0.05,
+                max_false_alarms=0,
+            ),
+            tags=("null", "order2"),
+        )
+    )
+    register(
+        Scenario(
+            name="single-pairwise",
+            description="one strong planted order-2 cell among 4 attributes",
+            seed=202,
+            builder=_single_pairwise,
+            max_order=2,
+            gates=ConformanceGates(
+                min_precision=0.5, min_recall=1.0, max_kl=0.05
+            ),
+            tags=("order2",),
+        )
+    )
+    register(
+        Scenario(
+            name="chained-pairwise",
+            description="order-2 dependencies chained along 5 attributes "
+            "(A-B, B-C, C-D, D-E)",
+            seed=303,
+            builder=_chained_pairwise,
+            max_order=2,
+            gates=ConformanceGates(
+                min_precision=0.5, min_recall=0.75, max_kl=0.08
+            ),
+            tags=("order2", "chain"),
+        )
+    )
+    register(
+        Scenario(
+            name="order3-interaction",
+            description="medical-survey world with two order-2 links and "
+            "one genuine order-3 interaction",
+            seed=404,
+            builder=_order3_interaction,
+            max_order=3,
+            gates=ConformanceGates(
+                min_precision=0.4, min_recall=0.66, max_kl=0.05
+            ),
+            full_gates=ConformanceGates(
+                min_precision=0.1, min_recall=1.0, max_kl=0.01
+            ),
+            tags=("order3",),
+        )
+    )
+    register(
+        Scenario(
+            name="near-deterministic",
+            description="one pair boosted ~40x: an almost-deterministic "
+            "IF-THEN rule",
+            seed=505,
+            builder=_near_deterministic,
+            max_order=2,
+            # A near-saturated pair genuinely shifts its whole 2-D
+            # marginal, so the strict exact-key convention counts the
+            # adjacent cells as false alarms; the gate asks for the rule
+            # itself (recall 1.0) with bounded collateral adoptions.
+            gates=ConformanceGates(
+                min_precision=0.25, min_recall=1.0, max_kl=0.05
+            ),
+            tags=("order2", "extreme"),
+        )
+    )
+    register(
+        Scenario(
+            name="skewed-marginals",
+            description="margins dominated by one value; planted link in "
+            "the rare corner",
+            seed=606,
+            builder=_skewed_marginals,
+            max_order=2,
+            gates=ConformanceGates(
+                min_precision=0.5, min_recall=1.0, max_kl=0.05
+            ),
+            tags=("order2", "skew"),
+        )
+    )
+    register(
+        Scenario(
+            name="high-cardinality",
+            description="3 attributes with 5-6 values each (large candidate "
+            "pools per subset)",
+            seed=707,
+            builder=_high_cardinality,
+            max_order=2,
+            gates=ConformanceGates(
+                min_precision=0.5, min_recall=1.0, max_kl=0.08
+            ),
+            tags=("order2", "cardinality"),
+        )
+    )
+    register(
+        Scenario(
+            name="sparse-counts",
+            description="5 attributes at a deliberately small sample size; "
+            "tests false-alarm control when counts are thin",
+            seed=808,
+            builder=_sparse_counts,
+            max_order=2,
+            smoke_samples=500,
+            full_samples=1500,
+            # Thin counts keep this scenario's discovery conservative (it
+            # may legitimately find nothing, scoring precision 0.0), so
+            # the gates bound false alarms and fit quality, not recovery.
+            gates=ConformanceGates(max_kl=0.30, max_false_alarms=2),
+            full_gates=ConformanceGates(max_kl=0.15, max_false_alarms=2),
+            tags=("order2", "sparse"),
+        )
+    )
+    register(
+        Scenario(
+            name="missing-data",
+            description="telemetry world with 15% MCAR blanks, EM-completed "
+            "before discovery",
+            seed=909,
+            builder=_missing_data,
+            max_order=3,
+            smoke_samples=3000,
+            full_samples=20000,
+            gates=ConformanceGates(
+                min_precision=0.4, min_recall=0.5, max_kl=0.05
+            ),
+            full_gates=ConformanceGates(
+                min_precision=0.15, min_recall=1.0, max_kl=0.01
+            ),
+            tags=("order3", "missing"),
+        )
+    )
+    register(
+        Scenario(
+            name="streaming-drift",
+            description="two stream phases with drifted margins but stable "
+            "planted links, merged via TableBuilder",
+            seed=1010,
+            builder=_streaming_drift,
+            max_order=2,
+            gates=ConformanceGates(
+                min_precision=0.5, min_recall=0.66, max_kl=0.08
+            ),
+            tags=("order2", "streaming"),
+        )
+    )
+
+
+_register_builtins()

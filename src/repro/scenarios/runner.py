@@ -1,0 +1,252 @@
+"""Conformance runner: discovery + baselines scored over the scenario matrix.
+
+For each registered :class:`~repro.scenarios.registry.Scenario` the runner
+materializes the workload, runs the Figure-3 discovery engine (kernel
+backend, with :class:`~repro.significance.kernels.DiscoveryProfile`
+instrumentation), scores the adopted constraints against the planted
+ground truth (precision / recall / false alarms), measures
+KL(empirical ‖ fitted) as the goodness-of-fit summary, and optionally
+runs the chi-square and BIC baseline selectors on the same table so the
+paper's MML criterion is always compared against something.
+
+The per-scenario :class:`~repro.scenarios.registry.ConformanceGates` are
+then checked; CI's scenario-matrix job runs this in smoke mode and fails
+the build on any gate miss, and ``benchmarks/run_all.py --json`` appends
+the same per-scenario metrics to the benchmark trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.baselines.bic_selector import BICSelectorConfig, discover_bic
+from repro.baselines.chi2_selector import Chi2SelectorConfig, discover_chi2
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import DiscoveryEngine
+from repro.discovery.trace import ConstraintRecovery, score_constraint_keys
+from repro.maxent.entropy import kl_divergence
+from repro.scenarios.registry import (
+    ConformanceGates,
+    Scenario,
+    all_scenarios,
+    get_scenario,
+)
+
+__all__ = [
+    "BaselineScore",
+    "ScenarioOutcome",
+    "outcome_to_dict",
+    "run_matrix",
+    "run_scenario",
+]
+
+
+@dataclass(frozen=True)
+class BaselineScore:
+    """Recovery of one baseline selector on one scenario."""
+
+    selector: str
+    precision: float
+    recall: float
+    found: int
+    seconds: float
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything measured for one scenario run."""
+
+    scenario: str
+    smoke: bool
+    n_samples: int
+    num_attributes: int
+    max_order: int
+    truth_size: int
+    recovery: ConstraintRecovery
+    kl_empirical_fitted: float
+    seconds: float
+    scan_seconds: float
+    fit_seconds: float
+    verify_seconds: float
+    fit_sweeps: int
+    constraints_found: int
+    baselines: list[BaselineScore] = field(default_factory=list)
+    gate_failures: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.gate_failures
+
+    @property
+    def precision(self) -> float:
+        return self.recovery.precision
+
+    @property
+    def recall(self) -> float:
+        return self.recovery.recall
+
+
+def check_gates(
+    gates: ConformanceGates,
+    recovery: ConstraintRecovery,
+    kl: float,
+) -> list[str]:
+    """Human-readable description of every gate the outcome missed."""
+    failures = []
+    if recovery.precision < gates.min_precision:
+        failures.append(
+            f"precision {recovery.precision:.3f} < {gates.min_precision:.3f}"
+        )
+    if recovery.recall < gates.min_recall:
+        failures.append(
+            f"recall {recovery.recall:.3f} < {gates.min_recall:.3f}"
+        )
+    if kl > gates.max_kl:
+        failures.append(f"KL {kl:.4f} > {gates.max_kl:.4f}")
+    if (
+        gates.max_false_alarms is not None
+        and len(recovery.false_alarms) > gates.max_false_alarms
+    ):
+        failures.append(
+            f"false alarms {len(recovery.false_alarms)} > "
+            f"{gates.max_false_alarms}"
+        )
+    return failures
+
+
+def run_scenario(
+    scenario: Scenario | str,
+    smoke: bool = True,
+    include_baselines: bool = True,
+) -> ScenarioOutcome:
+    """Run discovery (+ baselines) on one scenario and score conformance."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    instance = scenario.build(smoke)
+    table = instance.table
+    config = DiscoveryConfig(max_order=scenario.max_order)
+
+    start = time.perf_counter()
+    engine = DiscoveryEngine(config)
+    result = engine.run(table)
+    seconds = time.perf_counter() - start
+
+    recovery = result.score_against(set(instance.truth))
+    kl = kl_divergence(
+        table.probabilities().ravel(), result.model.joint().ravel()
+    )
+    profile = result.profile
+
+    baselines: list[BaselineScore] = []
+    if include_baselines:
+        truth = set(instance.truth)
+        baseline_start = time.perf_counter()
+        chi2 = discover_chi2(
+            table, Chi2SelectorConfig(max_order=scenario.max_order)
+        )
+        baselines.append(
+            _baseline_score(
+                "chi2",
+                truth,
+                {c.key for c in chi2.found},
+                time.perf_counter() - baseline_start,
+            )
+        )
+        baseline_start = time.perf_counter()
+        bic = discover_bic(
+            table, BICSelectorConfig(max_order=scenario.max_order)
+        )
+        baselines.append(
+            _baseline_score(
+                "bic",
+                truth,
+                {c.key for c in bic.found},
+                time.perf_counter() - baseline_start,
+            )
+        )
+
+    outcome = ScenarioOutcome(
+        scenario=scenario.name,
+        smoke=smoke,
+        n_samples=table.total,
+        num_attributes=len(table.schema),
+        max_order=scenario.max_order,
+        truth_size=len(instance.truth),
+        recovery=recovery,
+        kl_empirical_fitted=kl,
+        seconds=seconds,
+        scan_seconds=profile.scan_seconds if profile else 0.0,
+        fit_seconds=profile.fit_seconds if profile else 0.0,
+        verify_seconds=profile.verify_seconds if profile else 0.0,
+        fit_sweeps=profile.fit_sweeps if profile else 0,
+        constraints_found=len(result.found),
+        baselines=baselines,
+    )
+    outcome.gate_failures = check_gates(
+        scenario.gates_for(smoke), recovery, kl
+    )
+    return outcome
+
+
+def _baseline_score(selector, truth, found_keys, seconds) -> BaselineScore:
+    score = score_constraint_keys(truth, found_keys)
+    return BaselineScore(
+        selector=selector,
+        precision=score.precision,
+        recall=score.recall,
+        found=len(found_keys),
+        seconds=seconds,
+    )
+
+
+def run_matrix(
+    names: Sequence[str] | None = None,
+    smoke: bool = True,
+    include_baselines: bool = True,
+) -> list[ScenarioOutcome]:
+    """Run the conformance runner over (a selection of) the registry."""
+    if names is None:
+        scenarios = list(all_scenarios())
+    else:
+        scenarios = [get_scenario(name) for name in names]
+    return [
+        run_scenario(scenario, smoke, include_baselines)
+        for scenario in scenarios
+    ]
+
+
+def outcome_to_dict(outcome: ScenarioOutcome) -> dict:
+    """JSON-ready dict of one outcome (keys → lists for serialization)."""
+    return {
+        "scenario": outcome.scenario,
+        "smoke": outcome.smoke,
+        "n_samples": outcome.n_samples,
+        "num_attributes": outcome.num_attributes,
+        "max_order": outcome.max_order,
+        "truth_size": outcome.truth_size,
+        "constraints_found": outcome.constraints_found,
+        "precision": outcome.precision,
+        "recall": outcome.recall,
+        "false_alarms": len(outcome.recovery.false_alarms),
+        "missed": len(outcome.recovery.missed),
+        "kl_empirical_fitted": outcome.kl_empirical_fitted,
+        "seconds": outcome.seconds,
+        "stage_scan_s": outcome.scan_seconds,
+        "stage_fit_s": outcome.fit_seconds,
+        "stage_verify_s": outcome.verify_seconds,
+        "fit_sweeps": outcome.fit_sweeps,
+        "baselines": [
+            {
+                "selector": b.selector,
+                "precision": b.precision,
+                "recall": b.recall,
+                "found": b.found,
+                "seconds": b.seconds,
+            }
+            for b in outcome.baselines
+        ],
+        "gate_failures": list(outcome.gate_failures),
+        "passed": outcome.passed,
+    }

@@ -76,9 +76,8 @@ def _goodness_of_fit(
         )
     elif statistic == "g":
         positive = mask & (observed > 0)
-        value = float(
-            2.0 * (observed[positive] * np.log(observed[positive] / expected[positive])).sum()
-        )
+        ratio = observed[positive] / expected[positive]
+        value = float(2.0 * (observed[positive] * np.log(ratio)).sum())
     else:
         raise DataError(f"unknown statistic {statistic!r}")
     dof = int(observed.size - 1)

@@ -4,9 +4,13 @@ from repro.synth.generators import (
     PlantedCell,
     PlantedPopulation,
     build_planted_population,
+    chained_population,
+    drifted_margins,
     independent_population,
+    near_deterministic_population,
     random_planted_population,
     recovery_score,
+    skewed_population,
 )
 from repro.synth.surveys import (
     medical_survey_population,
@@ -19,10 +23,14 @@ __all__ = [
     "PlantedCell",
     "PlantedPopulation",
     "build_planted_population",
+    "chained_population",
+    "drifted_margins",
     "independent_population",
     "medical_survey_population",
+    "near_deterministic_population",
     "random_planted_population",
     "recovery_score",
+    "skewed_population",
     "smoking_cancer_population",
     "smoking_cancer_schema",
     "telemetry_population",

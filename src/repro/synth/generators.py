@@ -161,14 +161,17 @@ def random_planted_population(
     num_planted: int = 2,
     strength: float = 3.0,
     order: int = 2,
+    min_values: int = 2,
+    max_values: int = 4,
 ) -> PlantedPopulation:
     """A random population with ``num_planted`` order-``order`` cells planted.
 
     Planted cells are distinct and their strength alternates between
     ``strength`` (excess) and ``1/strength`` (deficit) so both directions
-    of association occur.
+    of association occur.  ``min_values`` / ``max_values`` bound the
+    attribute cardinalities (high-cardinality workloads raise them).
     """
-    schema = random_schema(rng, num_attributes)
+    schema = random_schema(rng, num_attributes, min_values, max_values)
     margins = random_margins(rng, schema)
     names = schema.names
     chosen: set[tuple[tuple[str, ...], tuple[int, ...]]] = set()
@@ -203,6 +206,158 @@ def independent_population(
     return build_planted_population(schema, margins, [])
 
 
+def chained_population(
+    rng: np.random.Generator,
+    num_attributes: int = 5,
+    strength: float = 3.0,
+) -> PlantedPopulation:
+    """A Markov-chain-like population: one planted order-2 cell per
+    adjacent attribute pair (A–B, B–C, ...).
+
+    Every attribute participates in some dependency, but no interaction
+    exceeds order 2 — the workload that separates "finds pairwise links"
+    from "hallucinates higher-order structure".
+    """
+    if num_attributes < 2:
+        raise DataError("a chain needs at least two attributes")
+    schema = random_schema(rng, num_attributes)
+    margins = random_margins(rng, schema)
+    names = schema.names
+    planted = []
+    for left, right in zip(names, names[1:]):
+        values = (
+            int(rng.integers(schema.attribute(left).cardinality)),
+            int(rng.integers(schema.attribute(right).cardinality)),
+        )
+        planted.append(PlantedCell((left, right), values, strength))
+    return build_planted_population(schema, margins, planted)
+
+
+def near_deterministic_population(
+    rng: np.random.Generator,
+    strength: float = 40.0,
+    num_attributes: int = 3,
+    min_conditional: float = 0.95,
+) -> PlantedPopulation:
+    """A population where one cell is boosted so hard the pair behaves
+    like a near-deterministic rule (IF A=a THEN B=b almost surely).
+
+    Stresses the significance test's p→1 edge and the solver's handling of
+    extreme ``a`` values; the feasible-range / determined bookkeeping of
+    Eq 41 gets exercised with nearly saturated cells.
+
+    A rule that holds with probability ``min_conditional`` needs
+    ``P(B=b) >= min_conditional * P(A=a)`` — no finite boost can beat an
+    infeasible margin, because the margin-restoring IPF sweeps cap the
+    pair cell at ``min(P(A=a), P(B=b))``.  The consequent's margin is
+    therefore lifted to make the rule feasible, and the strength is then
+    escalated until ``P(B=b | A=a) >= min_conditional`` actually holds in
+    the final joint, keeping the scenario's semantics independent of the
+    seed.
+    """
+    if strength <= 1.0:
+        raise DataError("a near-deterministic rule needs strength > 1")
+    if not 0.0 < min_conditional < 1.0:
+        raise DataError(
+            f"min_conditional must be in (0, 1), got {min_conditional}"
+        )
+    schema = random_schema(rng, num_attributes, min_values=2, max_values=3)
+    margins = random_margins(rng, schema)
+    names = schema.names
+    antecedent_mass = float(margins[names[0]][0])
+    consequent = np.asarray(margins[names[1]], dtype=float)
+    needed = min(0.9, antecedent_mass + 0.1)
+    if consequent[0] < needed:
+        scale = (1.0 - needed) / (1.0 - consequent[0])
+        consequent = consequent * scale
+        consequent[0] = needed
+        margins[names[1]] = consequent / consequent.sum()
+    rest_axes = tuple(range(2, len(schema)))
+    for _attempt in range(12):
+        planted = [PlantedCell((names[0], names[1]), (0, 0), strength)]
+        population = build_planted_population(schema, margins, planted)
+        pair = (
+            population.joint.sum(axis=rest_axes)
+            if rest_axes
+            else population.joint
+        )
+        if pair[0, 0] / pair[0, :].sum() >= min_conditional:
+            return population
+        strength *= 4.0
+    raise DataError(
+        f"could not reach P(rule) >= {min_conditional} by escalating "
+        f"strength (margins too adverse)"
+    )
+
+
+def skewed_population(
+    rng: np.random.Generator,
+    num_attributes: int = 4,
+    skew: float = 8.0,
+    num_planted: int = 1,
+    strength: float = 4.0,
+) -> PlantedPopulation:
+    """A population whose margins are heavily skewed toward one value.
+
+    Each attribute's first value carries most of the mass (the heavier
+    ``skew``, the more extreme), so planted structure must be found from
+    cells whose expected counts differ by orders of magnitude.
+    """
+    if skew <= 1.0:
+        raise DataError(f"skew must be > 1, got {skew}")
+    schema = random_schema(rng, num_attributes)
+    if num_planted > num_attributes // 2:
+        # Disjoint schema-ordered pairs keep planted keys distinct and
+        # canonical (matching CellConstraint.key), so recovery scoring
+        # compares like with like.
+        raise DataError(
+            f"cannot plant {num_planted} disjoint pairs over "
+            f"{num_attributes} attributes"
+        )
+    margins = {}
+    for attribute in schema:
+        vector = np.ones(attribute.cardinality)
+        vector[0] = skew
+        vector += rng.uniform(0.0, 0.2, size=attribute.cardinality)
+        margins[attribute.name] = vector / vector.sum()
+    names = schema.names
+    planted = []
+    for index in range(num_planted):
+        left, right = names[2 * index], names[2 * index + 1]
+        # Plant in the rare corner: both attributes at their last (least
+        # likely) value, where counts are thinnest.
+        values = (
+            schema.attribute(left).cardinality - 1,
+            schema.attribute(right).cardinality - 1,
+        )
+        planted.append(PlantedCell((left, right), values, strength))
+    return build_planted_population(schema, margins, planted)
+
+
+def drifted_margins(
+    rng: np.random.Generator,
+    margins: dict[str, np.ndarray],
+    drift: float = 0.5,
+) -> dict[str, np.ndarray]:
+    """Margins shifted away from ``margins`` by mixing in a random
+    redistribution — the "second phase" of a streaming-drift workload.
+
+    ``drift`` in [0, 1] interpolates between the original margins (0) and
+    a fresh Dirichlet draw (1).  The result stays bounded away from zero,
+    like :func:`random_margins` output.
+    """
+    if not 0.0 <= drift <= 1.0:
+        raise DataError(f"drift must be in [0, 1], got {drift}")
+    shifted = {}
+    for name, vector in margins.items():
+        vector = np.asarray(vector, dtype=float)
+        target = rng.dirichlet([2.0] * vector.size)
+        mixed = (1.0 - drift) * vector + drift * target
+        mixed = np.clip(mixed, 0.02, None)
+        shifted[name] = mixed / mixed.sum()
+    return shifted
+
+
 def recovery_score(
     population: PlantedPopulation,
     found_keys: set[tuple[tuple[str, ...], tuple[int, ...]]],
@@ -213,12 +368,11 @@ def recovery_score(
     Precision counts any non-planted adopted key as a false alarm — a
     deliberately strict convention, identical across selectors, so the
     ablation comparison is fair even though adjacent cells of a planted
-    marginal legitimately shift too.
+    marginal legitimately shift too.  The single implementation of the
+    convention is :func:`repro.discovery.trace.score_constraint_keys`;
+    this is the (precision, recall)-pair view of it.
     """
-    truth = population.planted_keys()
-    if not found_keys:
-        return (1.0 if not truth else 0.0, 0.0 if truth else 1.0)
-    hits = len(truth & found_keys)
-    precision = hits / len(found_keys)
-    recall = hits / len(truth) if truth else 1.0
-    return precision, recall
+    from repro.discovery.trace import score_constraint_keys
+
+    score = score_constraint_keys(population.planted_keys(), set(found_keys))
+    return score.precision, score.recall

@@ -9,7 +9,6 @@ from repro.api.backends import (
     DENSE_CELL_LIMIT,
     DenseBackend,
     EliminationBackend,
-    InferenceBackend,
     available_backends,
     create_backend,
     register_backend,

@@ -52,7 +52,6 @@ class TestMostProbable:
         assert probability == pytest.approx(1.0)
 
     def test_zero_evidence_rejected(self, table):
-        from repro.baselines.independence import independence_model
         from repro.maxent.model import MaxEntModel
 
         margins = {

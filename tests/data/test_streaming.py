@@ -1,6 +1,5 @@
 """Tests for incremental table accumulation."""
 
-import numpy as np
 import pytest
 
 from repro.data.dataset import Dataset

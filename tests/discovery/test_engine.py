@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.data.contingency import ContingencyTable
-from repro.data.dataset import Dataset
 from repro.discovery.config import DiscoveryConfig
 from repro.discovery.engine import DiscoveryEngine, discover
 from repro.exceptions import DataError

@@ -6,7 +6,6 @@ import pytest
 from repro.exceptions import ConstraintError, ConvergenceError
 from repro.maxent.constraints import CellConstraint, ConstraintSet
 from repro.maxent.ipf import fit_ipf
-from repro.maxent.model import MaxEntModel
 
 
 @pytest.fixture

@@ -152,7 +152,8 @@ class TestQueries:
         """Eq 33: predicted mean is N * p."""
         model = MaxEntModel.independent(schema, margins)
         mean = model.expected_count(3428, ["SMOKING", "CANCER"], [0, 0])
-        assert mean == pytest.approx(3428 * margins["SMOKING"][0] * margins["CANCER"][0])
+        expected = 3428 * margins["SMOKING"][0] * margins["CANCER"][0]
+        assert mean == pytest.approx(expected)
 
     def test_expected_count_order_insensitive(self, schema, margins):
         model = MaxEntModel.independent(schema, margins)

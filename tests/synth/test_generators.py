@@ -7,11 +7,15 @@ from repro.exceptions import DataError
 from repro.synth.generators import (
     PlantedCell,
     build_planted_population,
+    chained_population,
+    drifted_margins,
     independent_population,
+    near_deterministic_population,
     random_margins,
     random_planted_population,
     random_schema,
     recovery_score,
+    skewed_population,
 )
 from repro.synth.surveys import (
     medical_survey_population,
@@ -157,3 +161,115 @@ class TestSurveyWorlds:
         high = joint[:, 1, :, 1].sum() / joint[:, 1, :, :].sum()
         low = joint[:, 0, :, 1].sum() / joint[:, 0, :, :].sum()
         assert high > low
+
+
+class TestChainedPopulation:
+    def test_one_link_per_adjacent_pair(self, rng):
+        population = chained_population(rng, num_attributes=5, strength=3.0)
+        names = population.schema.names
+        planted_pairs = [cell.attributes for cell in population.planted]
+        assert planted_pairs == [
+            (names[i], names[i + 1]) for i in range(len(names) - 1)
+        ]
+
+    def test_every_attribute_participates(self, rng):
+        population = chained_population(rng, num_attributes=4)
+        covered = {
+            name for cell in population.planted for name in cell.attributes
+        }
+        assert covered == set(population.schema.names)
+
+    def test_too_short_chain_rejected(self, rng):
+        with pytest.raises(DataError, match="at least two"):
+            chained_population(rng, num_attributes=1)
+
+
+class TestNearDeterministicPopulation:
+    def test_rule_dominates_conditional(self, rng):
+        population = near_deterministic_population(rng, strength=40.0)
+        joint = population.joint
+        # P(B=first | A=first) should be near 1: the planted cell acts
+        # like a hard rule.
+        axis_rest = tuple(range(2, len(population.schema)))
+        pair = joint.sum(axis=axis_rest) if axis_rest else joint
+        conditional = pair[0, 0] / pair[0, :].sum()
+        assert conditional > 0.9
+
+    def test_strength_validated(self, rng):
+        with pytest.raises(DataError, match="strength"):
+            near_deterministic_population(rng, strength=1.0)
+
+
+class TestSkewedPopulation:
+    def test_margins_are_skewed(self, rng):
+        population = skewed_population(rng, skew=8.0)
+        for axis, attribute in enumerate(population.schema):
+            other = tuple(
+                a for a in range(len(population.schema)) if a != axis
+            )
+            margin = population.joint.sum(axis=other)
+            assert margin[0] == max(margin)
+            assert margin[0] > 0.5
+
+    def test_planted_in_rare_corner(self, rng):
+        population = skewed_population(rng, num_planted=1)
+        (cell,) = population.planted
+        for name, value in zip(cell.attributes, cell.values):
+            assert value == population.schema.attribute(name).cardinality - 1
+
+    def test_skew_validated(self, rng):
+        with pytest.raises(DataError, match="skew"):
+            skewed_population(rng, skew=1.0)
+
+    def test_multiple_plants_are_disjoint_and_canonical(self, rng):
+        population = skewed_population(rng, num_attributes=4, num_planted=2)
+        keys = population.planted_keys()
+        assert len(keys) == 2
+        names = population.schema.names
+        used = []
+        for attributes, _values in keys:
+            # Canonical schema order, as CellConstraint.key reports it.
+            assert attributes == tuple(
+                sorted(attributes, key=names.index)
+            )
+            used.extend(attributes)
+        assert len(used) == len(set(used))
+
+    def test_too_many_plants_rejected(self, rng):
+        with pytest.raises(DataError, match="disjoint pairs"):
+            skewed_population(rng, num_attributes=4, num_planted=3)
+
+
+class TestDriftedMargins:
+    def test_drift_zero_is_identity_up_to_clipping(self, rng):
+        schema = random_schema(rng, 3)
+        margins = random_margins(rng, schema)
+        shifted = drifted_margins(rng, margins, drift=0.0)
+        for name in margins:
+            assert shifted[name] == pytest.approx(margins[name])
+
+    def test_drift_moves_margins_and_keeps_them_valid(self, rng):
+        schema = random_schema(rng, 3)
+        margins = random_margins(rng, schema)
+        shifted = drifted_margins(rng, margins, drift=0.8)
+        moved = False
+        for name in margins:
+            assert shifted[name].sum() == pytest.approx(1.0)
+            assert (shifted[name] >= 0.01).all()
+            if not np.allclose(shifted[name], margins[name], atol=1e-6):
+                moved = True
+        assert moved
+
+    def test_drift_range_validated(self, rng):
+        schema = random_schema(rng, 2)
+        margins = random_margins(rng, schema)
+        with pytest.raises(DataError, match="drift"):
+            drifted_margins(rng, margins, drift=1.5)
+
+
+class TestHighCardinalityPlanting:
+    def test_cardinality_bounds_forwarded(self, rng):
+        population = random_planted_population(
+            rng, num_attributes=3, min_values=5, max_values=6
+        )
+        assert all(5 <= a.cardinality <= 6 for a in population.schema)

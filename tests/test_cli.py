@@ -44,6 +44,11 @@ def test_discover_profile(capsys):
     for stage in ("scan", "fit", "verify"):
         assert stage in output
     assert "sweeps" in output
+    # The rendered table carries the per-stage work and share columns.
+    assert "cells" in output
+    assert "%" in output
+    for header in ("stage", "calls", "work", "seconds", "share"):
+        assert header in output
 
 
 def test_discover_profile_with_save(capsys, tmp_path):
@@ -227,6 +232,139 @@ class TestUpdateCommand:
             ["update", "--kb", "/nonexistent.json", "--csv", str(delta)]
         ) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestScenariosCommand:
+    def test_list_shows_registry(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in output
+
+    def test_run_single_scenario_text_report(self, capsys):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "run",
+                    "--smoke",
+                    "--scenario",
+                    "independence",
+                    "--no-baselines",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "SCENARIO CONFORMANCE MATRIX" in output
+        assert "independence" in output
+        assert "all conformance gates passed" in output
+
+    def test_run_json_to_stdout(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "run",
+                    "--smoke",
+                    "--scenario",
+                    "near-deterministic",
+                    "--no-baselines",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        record = payload[0]
+        assert record["scenario"] == "near-deterministic"
+        for key in ("precision", "recall", "kl_empirical_fitted", "stage_scan_s"):
+            assert key in record
+
+    def test_run_json_to_file(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "run",
+                    "--smoke",
+                    "--scenario",
+                    "skewed-marginals",
+                    "--no-baselines",
+                    "--json",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(target.read_text())[0]["scenario"] == (
+            "skewed-marginals"
+        )
+
+    def test_smoke_env_variable_respected(self, capsys, monkeypatch):
+        import json
+
+        from repro.scenarios import get_scenario
+
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "run",
+                    "--scenario",
+                    "independence",
+                    "--no-baselines",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        record = json.loads(capsys.readouterr().out)[0]
+        assert record["smoke"] is True
+        assert record["n_samples"] == get_scenario("independence").smoke_samples
+
+    def test_gate_miss_exits_nonzero(self, capsys, monkeypatch):
+        import repro.scenarios.runner as runner_module
+        from repro.cli import main as cli_main
+
+        def failing_check(gates, recovery, kl):
+            return ["precision 0.000 < 1.000"]
+
+        monkeypatch.setattr(runner_module, "check_gates", failing_check)
+        assert (
+            cli_main(
+                [
+                    "scenarios",
+                    "run",
+                    "--smoke",
+                    "--scenario",
+                    "independence",
+                    "--no-baselines",
+                ]
+            )
+            == 1
+        )
+        captured = capsys.readouterr()
+        assert "conformance gate miss" in captured.err
+
+    def test_unknown_scenario_reports_cleanly(self, capsys):
+        assert (
+            main(["scenarios", "run", "--scenario", "no-such-workload"]) == 1
+        )
+        assert "no scenario named" in capsys.readouterr().err
+
+    def test_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios"])
 
 
 def test_requires_command():
