@@ -1,0 +1,125 @@
+"""The wide order-3 scan scenario shared between ``bench_parallel.py``
+and the ``run_all.py`` trajectory emitter — one definition of the
+workload, so recorded parallel speedups always measure exactly what CI
+asserts.
+
+Why a *wide* scenario: the paper-sized medical survey's whole order-3
+candidate pool is ~100 cells, which the vectorized kernel scans in under
+a millisecond — below process-pool round-trip cost, so parallelism
+cannot (and should not) win there.  Sharding pays on the production
+shape the ROADMAP aims at: many attributes and higher cardinalities,
+where a single order's pool is thousands of cells and the Eq-41
+data-side tables dominate.  This module plants that world: a seeded
+random table over ``ATTRS`` five-valued attributes with a batch of
+adopted order-2 constraints, reproducing the state discovery reaches
+when it enters order 3.
+"""
+
+import time
+
+import numpy as np
+
+from repro.data.contingency import ContingencyTable
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import ConstraintError
+from repro.maxent.constraints import ConstraintSet
+from repro.maxent.model import MaxEntModel
+
+SEED = 71
+ORDER = 3
+#: Enforced floors (full size, >= 4 CPUs): sharded scan and parallel
+#: batch-query speedup at 4 workers.
+MIN_PARALLEL_SPEEDUP = 2.0
+WORKERS = 4
+
+
+def dimensions(smoke: bool) -> tuple[int, int]:
+    """(attribute count, cardinality): order-3 pool of ~4400 cells at
+    full size, ~360 at smoke size."""
+    return (5, 4) if smoke else (7, 5)
+
+
+def timing_repeats(smoke: bool) -> int:
+    return 3 if smoke else 5
+
+
+def build_world(smoke: bool):
+    """(table, constraints, model) at the entry of the order-3 scan.
+
+    The adopted order-2 cells make the Eq-41 feasible-range tables do
+    realistic sibling/sharing work, exactly like mid-discovery state.
+    """
+    attribute_count, cardinality = dimensions(smoke)
+    rng = np.random.default_rng(SEED)
+    attributes = [
+        Attribute(
+            f"A{index}", tuple(f"v{v}" for v in range(cardinality))
+        )
+        for index in range(attribute_count)
+    ]
+    schema = Schema(attributes)
+    table = ContingencyTable(
+        schema,
+        rng.integers(1, 60, size=schema.shape).astype(np.int64),
+    )
+    constraints = ConstraintSet.first_order(table)
+    adopted = 0
+    for subset in table.subsets_of_order(2):
+        for values in ((0, 0), (1, 2), (3, 3)):
+            values = tuple(
+                min(v, cardinality - 1) for v in values
+            )
+            try:
+                constraints.add_cell(
+                    constraints.cell_from_table(table, subset, values)
+                )
+                adopted += 1
+            except ConstraintError:
+                continue
+        if adopted >= 18:
+            break
+    model = MaxEntModel.independent(
+        schema,
+        {
+            name: table.first_order_probabilities(name)
+            for name in schema.names
+        },
+    )
+    return table, constraints, model
+
+
+def query_traffic(schema: Schema, n_queries: int) -> list[str]:
+    """Distinct conditional query strings over many marginal subsets —
+    the cold-cache serving shape (every query compiles a fresh plan)."""
+    names = schema.names
+    queries = []
+    index = 0
+    while len(queries) < n_queries:
+        target = names[index % len(names)]
+        given = names[(index + 1 + index // len(names)) % len(names)]
+        if given == target:
+            given = names[(index + 2) % len(names)]
+        target_attr = schema.attribute(target)
+        given_attr = schema.attribute(given)
+        target_value = target_attr.values[index % len(target_attr.values)]
+        given_value = given_attr.values[
+            (index // 3) % len(given_attr.values)
+        ]
+        queries.append(
+            f"{target}={target_value} | {given}={given_value}"
+        )
+        index += 1
+    return queries
+
+
+def num_queries(smoke: bool) -> int:
+    return 400 if smoke else 4000
+
+
+def best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

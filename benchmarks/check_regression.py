@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Perf-regression gate: compare a fresh trajectory record to the baseline.
+
+Usage::
+
+    python benchmarks/run_all.py --json candidate.json --smoke --skip-suite
+    python benchmarks/check_regression.py \
+        --baseline BENCH_discovery.json --candidate candidate.json \
+        --output perf-regression-diff.json
+
+Checks, against the committed ``BENCH_discovery.json`` trajectory:
+
+- **tracked speedup ratios** (vectorized-scan speedup, sharded-scan and
+  parallel-query speedups): fail when the candidate degrades more than
+  ``--tolerance`` (default 30%) below the baseline.  Ratios are compared
+  only between records with the same ``smoke`` flag (toy-size and
+  full-size timings are not comparable), and the baseline value for a
+  metric is the *minimum* across matching records — a candidate only
+  fails when it is worse than every baseline run, which damps
+  single-record timing noise.  Parallel ratios additionally require the
+  baseline machine to have had at least as many CPUs as workers; a
+  laptop baseline can't set a multicore floor.
+- **scenario conformance gates**: fail when any scenario that passed its
+  gates in the baseline fails them in the candidate (and when the
+  candidate has any gate failure at all — same contract as ``run_all``).
+
+The full comparison is written to ``--output`` as JSON (CI uploads it as
+an artifact), and the exit code is non-zero on any regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Dotted paths of the speedup ratios the gate tracks.  ``cpu_bound``
+#: marks ratios that only mean something when the recording machine had
+#: at least ``parallel.workers`` CPUs.
+TRACKED_RATIOS = (
+    ("metrics.scan_speedup_warm", False),
+    ("parallel.scan_speedup_cold", True),
+    ("parallel.scan_speedup_warm", True),
+    ("parallel.query_speedup_cold", True),
+)
+
+
+def read_records(path: Path) -> list[dict]:
+    data = json.loads(path.read_text())
+    if not isinstance(data, list):
+        data = [data]
+    if not data:
+        raise SystemExit(f"error: {path} holds no trajectory records")
+    return data
+
+
+def lookup(record: dict, dotted: str):
+    value = record
+    for part in dotted.split("."):
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def has_enough_cpus(record: dict) -> bool:
+    parallel = record.get("parallel") or {}
+    return parallel.get("cpus", 0) >= parallel.get("workers", 1)
+
+
+def compare_ratios(
+    baseline_records: list[dict], candidate: dict, tolerance: float
+) -> list[dict]:
+    rows = []
+    for metric, cpu_bound in TRACKED_RATIOS:
+        candidate_value = lookup(candidate, metric)
+        if candidate_value is None:
+            continue
+        usable = [
+            record
+            for record in baseline_records
+            if lookup(record, metric) is not None
+            and (not cpu_bound or has_enough_cpus(record))
+        ]
+        if cpu_bound and not has_enough_cpus(candidate):
+            status = "skipped (too few cpus on candidate)"
+            rows.append(
+                {
+                    "metric": metric,
+                    "baseline": None,
+                    "candidate": candidate_value,
+                    "status": status,
+                }
+            )
+            continue
+        if not usable:
+            rows.append(
+                {
+                    "metric": metric,
+                    "baseline": None,
+                    "candidate": candidate_value,
+                    "status": "no comparable baseline",
+                }
+            )
+            continue
+        baseline_value = min(lookup(record, metric) for record in usable)
+        floor = (1.0 - tolerance) * baseline_value
+        regressed = candidate_value < floor
+        rows.append(
+            {
+                "metric": metric,
+                "baseline": baseline_value,
+                "candidate": candidate_value,
+                "floor": floor,
+                "status": "regressed" if regressed else "ok",
+            }
+        )
+    return rows
+
+
+def compare_scenarios(
+    baseline_records: list[dict], candidate: dict
+) -> list[dict]:
+    latest_passed: dict[str, bool] = {}
+    for record in baseline_records:
+        for entry in record.get("scenarios") or []:
+            latest_passed[entry["scenario"]] = entry.get("passed", True)
+    rows = []
+    for entry in candidate.get("scenarios") or []:
+        name = entry["scenario"]
+        passed = entry.get("passed", True)
+        passed_before = latest_passed.get(name)
+        if not passed:
+            # A gate miss only gets a pass here when the baseline already
+            # failed the same scenario (known-bad); new scenarios with no
+            # baseline are held to their gates like run_all itself does.
+            status = (
+                "failing (also in baseline)"
+                if passed_before is False
+                else "regressed"
+            )
+        else:
+            status = "ok"
+        rows.append(
+            {
+                "scenario": name,
+                "baseline_passed": passed_before,
+                "candidate_passed": passed,
+                "gate_failures": entry.get("gate_failures", []),
+                "status": status,
+            }
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="committed trajectory file (BENCH_discovery.json)",
+    )
+    parser.add_argument(
+        "--candidate",
+        required=True,
+        help="trajectory file from the fresh run_all --json run",
+    )
+    parser.add_argument(
+        "--output",
+        help="write the full comparison as JSON here (CI artifact)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup degradation (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    candidate = read_records(Path(args.candidate))[-1]
+    smoke = candidate.get("smoke", False)
+    # Only same-mode records are comparable; with no matching baseline
+    # the ratio rows report "no comparable baseline" rather than judging
+    # toy-size timings against full-size ones (or vice versa).
+    baseline = [
+        record
+        for record in read_records(Path(args.baseline))
+        if record.get("smoke", False) == smoke
+    ]
+
+    ratios = compare_ratios(baseline, candidate, args.tolerance)
+    scenarios = compare_scenarios(baseline, candidate)
+    regressions = [
+        f"{row['metric']}: {row['candidate']:.2f}x < floor "
+        f"{row['floor']:.2f}x (baseline {row['baseline']:.2f}x)"
+        for row in ratios
+        if row["status"] == "regressed"
+    ] + [
+        f"scenario {row['scenario']}: {'; '.join(row['gate_failures'])}"
+        for row in scenarios
+        if row["status"] == "regressed"
+    ]
+
+    report = {
+        "smoke": smoke,
+        "tolerance": args.tolerance,
+        "baseline_records_compared": len(baseline),
+        "candidate_timestamp": candidate.get("timestamp"),
+        "ratios": ratios,
+        "scenarios": scenarios,
+        "regressions": regressions,
+        "passed": not regressions,
+    }
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    for row in ratios:
+        baseline_text = (
+            f"{row['baseline']:.2f}x" if row["baseline"] is not None else "-"
+        )
+        print(
+            f"{row['metric']:<32} baseline {baseline_text:>8} "
+            f"candidate {row['candidate']:.2f}x  [{row['status']}]"
+        )
+    failing = [row for row in scenarios if not row["candidate_passed"]]
+    print(
+        f"scenarios: {len(scenarios) - len(failing)}/{len(scenarios)} "
+        f"conformant"
+    )
+    if regressions:
+        print("\nperformance regressions detected:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("no performance regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,14 +8,17 @@ Usage::
     repro table2             # Table 2 a-value iteration
     repro discover           # full Figure-3 run on the paper data
     repro discover --csv data.csv --save kb.json   # fit and save (format 3)
+    repro discover --workers 4                  # sharded scans, same answers
     repro update --kb kb.json --csv delta.csv      # warm-started update
     repro rules              # IF-THEN rules from the paper data
     repro recovery           # A1 selector-recovery ablation
     repro query "CANCER=yes | SMOKING=smoker"   # probability queries
     repro query --batch queries.txt --backend elimination
+    repro query --batch queries.txt --workers 4 # concurrent batch serving
     repro query --mpe --given "SMOKING=smoker"  # most probable explanation
     repro scenarios list                        # registered workloads
     repro scenarios run --smoke --json -        # conformance matrix (CI gate)
+    repro scenarios run --smoke --workers 2     # parallel-equivalence pass
 """
 
 from __future__ import annotations
@@ -29,6 +32,14 @@ from repro.discovery.config import DiscoveryConfig
 from repro.discovery.engine import discover
 from repro.eval import harness
 from repro.eval.paper import paper_table
+
+
+def _worker_count(text: str) -> int:
+    """argparse type for --workers: a positive int (argparse exits 2)."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,7 +79,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help=(
             "print a per-stage timing table (scan / fit / verify) from "
-            "the discovery kernels' instrumentation"
+            "the discovery kernels' instrumentation, to stderr so stdout "
+            "stays the summary"
+        ),
+    )
+    discover_parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help=(
+            "worker processes for the candidate scans (default 1 = "
+            "serial; results are bit-identical either way)"
         ),
     )
 
@@ -145,6 +166,15 @@ def main(argv: list[str] | None = None) -> int:
     query_parser.add_argument(
         "--given", help='evidence for --mpe, e.g. "SMOKING=smoker"'
     )
+    query_parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help=(
+            "worker processes for batch evaluation (default 1 = "
+            "in-process); each worker keeps its own plan/marginal caches"
+        ),
+    )
 
     scenarios_parser = subparsers.add_parser(
         "scenarios",
@@ -195,7 +225,17 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help=(
             "emit per-scenario metrics as JSON to PATH ('-' or no value: "
-            "stdout) instead of the text report"
+            "stdout); the human-readable report then goes to stderr so "
+            "stdout stays machine-parseable"
+        ),
+    )
+    scenarios_run.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help=(
+            "worker processes for each scenario's discovery scans "
+            "(default 1 = serial; conformance metrics are bit-identical)"
         ),
     )
 
@@ -218,7 +258,9 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
     elif args.command == "discover":
         table = _load_table(args.csv)
-        config = DiscoveryConfig(max_order=args.max_order)
+        config = DiscoveryConfig(
+            max_order=args.max_order, max_workers=args.workers
+        )
         if args.save:
             kb = ProbabilisticKnowledgeBase.from_data(table, config)
             result = kb.discovery
@@ -229,8 +271,9 @@ def main(argv: list[str] | None = None) -> int:
             result = discover(table, config)
             print(result.summary())
         if args.profile:
-            print()
-            print(_render_profile(result))
+            # Diagnostics go to stderr: stdout carries the summary only,
+            # so `repro discover --profile | ...` pipelines stay clean.
+            print(f"\n{_render_profile(result)}", file=sys.stderr)
     elif args.command == "update":
         return _run_update(args)
     elif args.command == "rules":
@@ -371,7 +414,7 @@ def _run_query_inner(args) -> int:
         kb = ProbabilisticKnowledgeBase.load(args.kb)
     else:
         kb = ProbabilisticKnowledgeBase.from_data(_load_table(args.csv))
-    session = kb.session(backend=args.backend)
+    session = kb.session(backend=args.backend, max_workers=args.workers)
     if args.mpe:
         given = (
             parse_assignment(kb.schema, args.given) if args.given else None
@@ -389,7 +432,10 @@ def _run_query_inner(args) -> int:
     if not texts:
         print("no queries given; pass expressions, --batch FILE, or --mpe")
         return 2
-    values = session.batch(texts)
+    try:
+        values = session.batch(texts)
+    finally:
+        session.close()
     for text, value in zip(texts, values):
         print(f"{session.compile(text).description} = {value:.6f}")
     return 0
@@ -440,11 +486,15 @@ def _run_scenarios_inner(args) -> int:
         names=args.scenario,
         smoke=smoke,
         include_baselines=not args.no_baselines,
+        workers=args.workers,
     )
     if args.json is not None:
         payload = json.dumps(
             [outcome_to_dict(outcome) for outcome in outcomes], indent=2
         )
+        # Machine-parseable contract: with --json, stdout carries JSON
+        # and nothing else; the human-readable report goes to stderr.
+        print(conformance_report(outcomes), file=sys.stderr)
         if args.json == "-":
             print(payload)
         else:

@@ -41,6 +41,15 @@ class DiscoveryConfig:
         marginals ... originally given as significant".  They are imposed
         before the first scan, participate in the Eq-41 range bounds, and
         are never re-tested.
+    max_workers:
+        Worker-process count for the per-order candidate scans.  1 (the
+        default) runs serially; above 1 the engine shards each scan
+        across a :class:`~repro.parallel.scan.ShardedScanExecutor`, with
+        adoption decisions bit-identical to the serial path.  Purely an
+        execution knob: it never changes results, only wall-clock — and
+        for that reason it is machine-local and deliberately *not*
+        serialized with the knowledge base (a saved artifact must not
+        spawn process pools on whatever host later loads it).
     """
 
     max_order: int | None = None
@@ -50,6 +59,7 @@ class DiscoveryConfig:
     max_sweeps: int = 500
     max_constraints: int | None = None
     given_constraints: tuple[CellConstraint, ...] = ()
+    max_workers: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.given_constraints, tuple):
@@ -72,6 +82,10 @@ class DiscoveryConfig:
             raise DataError(f"tol must be positive, got {self.tol}")
         if self.max_sweeps < 1:
             raise DataError(f"max_sweeps must be >= 1, got {self.max_sweeps}")
+        if self.max_workers < 1:
+            raise DataError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
 
     def to_dict(self) -> dict:
         """JSON-ready dict (round-tripped in the knowledge-base format)."""

@@ -68,12 +68,21 @@ class DiscoveryEngine:
         ``"reference"`` runs the scalar cell-by-cell oracle.  Both produce
         bit-identical results — the seam exists so benchmarks and property
         tests can enforce exactly that.
+    executor:
+        A :class:`~repro.parallel.scan.ShardedScanExecutor` to spread
+        per-order scans across worker processes.  When omitted and
+        ``config.max_workers > 1`` (kernel backend only), the engine
+        creates — and owns — one; call :meth:`close` (or use the engine
+        as a context manager) to stop its workers.  Sharded results are
+        merged in canonical candidate order, so adoption decisions are
+        bit-identical to the serial path regardless of worker count.
     """
 
     def __init__(
         self,
         config: DiscoveryConfig | None = None,
         scan_backend: str = "kernel",
+        executor=None,
     ):
         self.config = config or DiscoveryConfig()
         if scan_backend not in SCAN_BACKENDS:
@@ -83,6 +92,33 @@ class DiscoveryEngine:
             )
         self.scan_backend = scan_backend
         self.profile = DiscoveryProfile()
+        self._owns_executor = False
+        if (
+            executor is None
+            and self.config.max_workers > 1
+            and scan_backend == "kernel"
+        ):
+            from repro.parallel.scan import ShardedScanExecutor
+
+            executor = ShardedScanExecutor(self.config.max_workers)
+            self._owns_executor = True
+        self.executor = executor
+
+    def close(self) -> None:
+        """Stop a config-created executor's workers; idempotent.
+
+        An executor passed in explicitly is the caller's to close.
+        """
+        if self._owns_executor and self.executor is not None:
+            self.executor.close()
+            self.executor = None
+            self._owns_executor = False
+
+    def __enter__(self) -> "DiscoveryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(self, table: ContingencyTable) -> DiscoveryResult:
         """Execute the full Figure-3 procedure on a contingency table."""
@@ -266,23 +302,55 @@ class DiscoveryEngine:
         :class:`~repro.significance.kernels.OrderScanKernel` serves the
         whole loop: data-side statistics (counts, coefficient arrays,
         feasible ranges) persist across adoptions and only the subsets a
-        new constraint touches are recomputed.
+        new constraint touches are recomputed.  With an executor the same
+        kernels run sharded across worker processes — one restricted
+        kernel per worker, adoptions broadcast after each round — and the
+        merged scans are bit-identical to the serial kernel's.
         """
         config = self.config
         profile = self.profile
         kernel: OrderScanKernel | None = None
-        if self.scan_backend == "kernel":
+        executor = self.executor if self.scan_backend == "kernel" else None
+        if executor is not None:
+            executor.begin_order(table, order, constraints, config.priors)
+        elif self.scan_backend == "kernel":
             kernel = OrderScanKernel(table, order, constraints, config.priors)
+        try:
+            return self._scan_level_loop(
+                table, order, constraints, model, result, kernel, executor
+            )
+        finally:
+            if executor is not None:
+                executor.end_order()
+
+    def _scan_level_loop(
+        self,
+        table: ContingencyTable,
+        order: int,
+        constraints: ConstraintSet,
+        model: MaxEntModel,
+        result: DiscoveryResult,
+        kernel: OrderScanKernel | None,
+        executor,
+    ) -> MaxEntModel:
+        config = self.config
+        profile = self.profile
         while True:
             scan_start = time.perf_counter()
-            if kernel is not None:
+            if executor is not None:
+                # The executor hands back the argmax merged from
+                # shard-local bests, so the full (lazy) test list never
+                # has to be decoded on the hot path.
+                tests, best = executor.scan(model)
+            elif kernel is not None:
                 tests = kernel.scan(model)
+                best = most_significant(tests)
             else:
                 tests = reference_scan_order(
                     table, model, order, constraints, config.priors
                 )
+                best = most_significant(tests)
             scan_seconds = time.perf_counter() - scan_start
-            best = most_significant(tests)
             capped = best is not None and self._at_capacity(constraints)
             if capped:
                 best = None
@@ -312,7 +380,9 @@ class DiscoveryEngine:
                     ScanRecord(order=order, tests=tests, chosen=None)
                 )
                 return model
-            if kernel is not None:
+            if executor is not None:
+                executor.notify_adopted(constraint)
+            elif kernel is not None:
                 kernel.notify_adopted(constraint.key)
             fit = self._fit(constraints, model)
             model = fit.model
@@ -364,8 +434,14 @@ class DiscoveryEngine:
 def discover(
     table: ContingencyTable, config: DiscoveryConfig | None = None
 ) -> DiscoveryResult:
-    """Convenience wrapper: run discovery with an optional config."""
-    return DiscoveryEngine(config).run(table)
+    """Convenience wrapper: run discovery with an optional config.
+
+    A ``config.max_workers > 1`` pool lives only for this run; hold a
+    :class:`DiscoveryEngine` directly to amortize worker startup across
+    runs.
+    """
+    with DiscoveryEngine(config) as engine:
+        return engine.run(table)
 
 
 def rediscover(
@@ -377,4 +453,5 @@ def rediscover(
     :meth:`DiscoveryEngine.rerun`).  Defaults to the previous run's config.
     """
     config = config or previous.config or DiscoveryConfig()
-    return DiscoveryEngine(config).rerun(table, previous)
+    with DiscoveryEngine(config) as engine:
+        return engine.rerun(table, previous)

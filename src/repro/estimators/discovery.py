@@ -63,23 +63,25 @@ class DiscoveryEstimator(Estimator):
         return self.result.model
 
     def _fit(self, table: ContingencyTable) -> None:
-        self._result = DiscoveryEngine(self.config).run(table)
+        with DiscoveryEngine(self.config) as engine:
+            self._result = engine.run(table)
 
     def _update(
         self, merged: ContingencyTable, delta: ContingencyTable
     ) -> UpdateReport:
         previous = self.result
         before = previous.constraints.cell_keys()
-        try:
-            result = DiscoveryEngine(self.config).rerun(merged, previous)
-            mode = "warm"
-        except (ConstraintError, ConvergenceError):
-            # The new data contradict a previously adopted constraint (or
-            # the warm fit cannot converge from the old a values): restart
-            # cold, IC3-style — incremental strengthening where possible,
-            # clean rebuild when the frame breaks.
-            result = DiscoveryEngine(self.config).run(merged)
-            mode = "cold"
+        with DiscoveryEngine(self.config) as engine:
+            try:
+                result = engine.rerun(merged, previous)
+                mode = "warm"
+            except (ConstraintError, ConvergenceError):
+                # The new data contradict a previously adopted constraint
+                # (or the warm fit cannot converge from the old a values):
+                # restart cold, IC3-style — incremental strengthening
+                # where possible, clean rebuild when the frame breaks.
+                result = engine.run(merged)
+                mode = "cold"
         self._result = result
         after = result.constraints.cell_keys()
         return UpdateReport(

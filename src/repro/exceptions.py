@@ -36,5 +36,12 @@ class ConvergenceError(ReproError):
     """An iterative solver failed to reach the requested tolerance."""
 
 
+class ParallelError(ReproError):
+    """A worker pool failed: a worker died, a task could not be shipped,
+    or a worker raised an error the master could not map back onto the
+    library's own exception hierarchy (those it can — any
+    :class:`ReproError` subclass — are re-raised as themselves)."""
+
+
 class QueryError(ReproError):
     """A probability query is malformed or has zero-probability evidence."""

@@ -206,9 +206,22 @@ class LiveKnowledgeBase:
 
     # -- serving ------------------------------------------------------------------
 
-    def session(self, backend: str = "auto", cache_size: int | None = None):
-        """Open a query session; it stays valid across refits."""
-        return self.kb.session(backend=backend, cache_size=cache_size)
+    def session(
+        self,
+        backend: str = "auto",
+        cache_size: int | None = None,
+        max_workers: int = 1,
+    ):
+        """Open a query session; it stays valid across refits.
+
+        ``max_workers > 1`` serves batches from worker processes; their
+        sessions track refits through the model fingerprint just like
+        in-process ones, so a policy-triggered refit is picked up on the
+        next batch.
+        """
+        return self.kb.session(
+            backend=backend, cache_size=cache_size, max_workers=max_workers
+        )
 
     def query(self, text: str) -> float:
         return self.kb.query(text)

@@ -1,0 +1,138 @@
+"""Concurrent batch query serving: shards of a batch across worker sessions.
+
+Each worker process holds its own long-lived
+:class:`~repro.api.session.QuerySession` — its own compiled-plan cache, its
+own marginal LRU, its own backend artifact (dense joint / factor
+decomposition) — so a worker's caches stay warm across successive batches
+exactly like a serial session's do.  A batch is split into contiguous
+shards (worker ``i`` always gets shard ``i``), evaluated concurrently, and
+concatenated back, so results come back in input order.
+
+The model is broadcast to workers once, then re-broadcast only when its
+:meth:`~repro.maxent.model.MaxEntModel.fingerprint` changes — the same
+staleness signal the serial session uses, so a
+:meth:`~repro.core.knowledge_base.ProbabilisticKnowledgeBase.update` that
+absorbs new data in place invalidates worker sessions on the next batch.
+
+A query that fails inside a worker (bad attribute, zero-probability
+evidence) raises the same :class:`~repro.exceptions.QueryError` the serial
+path would; a worker that dies raises
+:class:`~repro.exceptions.ParallelError`.  Both are
+:class:`~repro.exceptions.ReproError` subclasses.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParallelError
+from repro.maxent.model import MaxEntModel
+from repro.parallel.pool import WorkerPool, shard_bounds
+
+__all__ = ["ParallelQueryEvaluator"]
+
+_TASK_INIT = f"{__name__}:_init_session"
+_TASK_SET_MODEL = f"{__name__}:_set_model"
+_TASK_BATCH = f"{__name__}:_evaluate_shard"
+
+
+# -- worker-side tasks ------------------------------------------------------------
+
+
+def _init_session(state, model, backend, cache_size) -> None:
+    from repro.api.session import QuerySession
+
+    state["session"] = QuerySession(
+        model, backend=backend, cache_size=cache_size
+    )
+
+
+def _set_model(state, model) -> None:
+    session = state.get("session")
+    if session is None:
+        raise ParallelError("query worker has no session")
+    session.set_model(model)
+
+
+def _evaluate_shard(state, queries) -> list[float]:
+    session = state.get("session")
+    if session is None:
+        raise ParallelError("query worker has no session")
+    return session.batch(queries)
+
+
+# -- master side ------------------------------------------------------------------
+
+
+class ParallelQueryEvaluator:
+    """Evaluates query batches across a pool of worker sessions."""
+
+    def __init__(
+        self,
+        model: MaxEntModel,
+        backend: str = "auto",
+        cache_size: int = 256,
+        max_workers: int | None = None,
+        pool: WorkerPool | None = None,
+        start_method: str | None = None,
+    ):
+        if pool is None:
+            if max_workers is None:
+                raise ParallelError(
+                    "ParallelQueryEvaluator needs max_workers or a pool"
+                )
+            pool = WorkerPool(max_workers, start_method=start_method)
+        self.pool = pool
+        self.max_workers = pool.max_workers
+        self._model = model
+        self._backend = backend
+        self._cache_size = int(cache_size)
+        self._broadcast_fingerprint: int | None = None
+
+    def set_model(self, model: MaxEntModel) -> None:
+        """Point workers at a new model (re-broadcast on the next batch)."""
+        self._model = model
+        self._broadcast_fingerprint = None
+
+    def reset(self) -> None:
+        """Force a full worker-session rebuild on the next batch."""
+        self._broadcast_fingerprint = None
+
+    def _ensure_current(self) -> None:
+        fingerprint = self._model.fingerprint()
+        if self._broadcast_fingerprint is None:
+            self.pool.broadcast(
+                _TASK_INIT, self._model, self._backend, self._cache_size
+            )
+        elif fingerprint != self._broadcast_fingerprint:
+            # In-place mutation (kb.update's absorb): same object, new
+            # factors — workers swap the model, dropping their caches.
+            self.pool.broadcast(_TASK_SET_MODEL, self._model)
+        self._broadcast_fingerprint = fingerprint
+
+    def batch(self, queries) -> list[float]:
+        """Evaluate ``queries`` concurrently; results in input order."""
+        queries = list(queries)
+        if not queries:
+            return []
+        self._ensure_current()
+        shards = max(1, min(self.max_workers, len(queries)))
+        bounds = shard_bounds(len(queries), shards)
+        results = self.pool.run(
+            _TASK_BATCH, [(queries[a:b],) for a, b in bounds]
+        )
+        return [value for shard in results for value in shard]
+
+    def close(self) -> None:
+        self._broadcast_fingerprint = None
+        self.pool.close()
+
+    def __enter__(self) -> "ParallelQueryEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelQueryEvaluator(backend={self._backend!r}, "
+            f"pool={self.pool!r})"
+        )

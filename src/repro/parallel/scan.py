@@ -1,0 +1,344 @@
+"""Sharded discovery scans: one order's candidate pool across workers.
+
+The discovery loop's hot path is the per-order candidate scan; PR 3
+vectorized it, this module spreads it over cores.  The unit of sharding is
+the attribute *subset*: each worker builds an
+:class:`~repro.significance.kernels.OrderScanKernel` restricted to a
+contiguous slice of the order's canonical subset list, so its data-side
+statistics (counts, coefficient arrays, Eq-41 range tables) are built once
+per order per worker and survive across the scan-adopt-refit rounds
+exactly as the serial kernel's do.
+
+Per scan the master materializes the model's joint once and broadcasts the
+array; per adoption it broadcasts the adopted constraint so every worker's
+constraint-set copy (and kernel cache invalidation) tracks the master's.
+
+Two things keep the parallel path fast where a naive port would not be:
+
+- workers ship scans in **columnar** form (lists of primitives — several
+  times cheaper to pickle than CellTest objects) and compute their
+  shard-local greedy argmax themselves, so the master's per-scan serial
+  work is a cheap decode of a few lists plus a max over shard bests;
+- the full :class:`~repro.significance.result.CellTest` list the audit
+  trail wants is wrapped in :class:`LazyScanTests` and only materialized
+  when something actually reads it (trace serialization, summaries,
+  equality checks) — never on the scan-adopt-refit hot path.
+
+**Bit-identity.**  Candidate-pool accounting inside each shard kernel is
+global (Eq 45 counts the whole order), every float is produced by the same
+kernel code on the same inputs, shards are contiguous slices of the
+canonical subset order, and the shard-best merge reproduces ``min()``'s
+first-of-equals tie-breaking — so decisions, traces, and fitted models are
+bit-identical to the serial path.  ``tests/parallel/`` enforces this
+across shard counts and uneven splits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.contingency import ContingencyTable
+from repro.exceptions import ParallelError
+from repro.maxent.constraints import CellConstraint, ConstraintSet
+from repro.maxent.model import MaxEntModel
+from repro.parallel.pool import WorkerPool, shard_bounds
+from repro.significance.kernels import OrderScanKernel, tests_from_columns
+from repro.significance.result import CellTest
+
+__all__ = ["LazyScanTests", "ShardedScanExecutor", "scan_order_sharded"]
+
+_TASK_INIT = f"{__name__}:_init_order"
+_TASK_SCAN = f"{__name__}:_scan_shard"
+_TASK_ADOPT = f"{__name__}:_adopt"
+_TASK_END = f"{__name__}:_end_order"
+
+
+def _best_in_columns(columns) -> tuple[int, float] | None:
+    """Shard-local greedy argmax: ``(flat index, m2 - m1)`` of the most
+    significant cell, or None.  Mirrors
+    :func:`repro.significance.mml.most_significant` exactly — strict
+    ``<`` keeps the first of equal deltas, matching ``min()``."""
+    best_index = None
+    best_delta = 0.0
+    offset = 0
+    for subset_columns in columns:
+        m1 = subset_columns[7]
+        m2 = subset_columns[8]
+        for i in range(len(m1)):
+            delta = m2[i] - m1[i]
+            if delta < 0.0 and (best_index is None or delta < best_delta):
+                best_index = offset + i
+                best_delta = delta
+        offset += len(m1)
+    if best_index is None:
+        return None
+    return best_index, best_delta
+
+
+def _test_at(columns, index: int) -> CellTest:
+    """Materialize the single CellTest at a flat position in a shard.
+
+    Slices a one-row view of the owning subset's columns and reuses
+    :func:`~repro.significance.kernels.tests_from_columns` — one
+    construction site for the columnar-to-CellTest mapping.
+    """
+    for subset_columns in columns:
+        count = len(subset_columns[1])
+        if index < count:
+            row = (
+                subset_columns[0],
+                *([column[index]] for column in subset_columns[1:]),
+            )
+            return tests_from_columns([row])[0]
+        index -= count
+    raise ParallelError(f"flat index {index} beyond the shard's cells")
+
+
+class LazyScanTests(Sequence):
+    """The scan's CellTest list, materialized only when read.
+
+    Behaves as the list the serial path produces — same length, items,
+    order, equality — but the decode from columnar shard payloads runs on
+    first access, keeping it off the scan-adopt-refit hot path.  The
+    engine stores these in :class:`~repro.discovery.trace.ScanRecord`;
+    trace serialization, summaries and equality checks materialize them
+    transparently.
+    """
+
+    def __init__(self, shard_columns: list):
+        self._shards = shard_columns
+        self._count = sum(
+            len(subset_columns[1])
+            for columns in shard_columns
+            for subset_columns in columns
+        )
+        self._tests: list[CellTest] | None = None
+
+    def _materialize(self) -> list[CellTest]:
+        if self._tests is None:
+            tests: list[CellTest] = []
+            for columns in self._shards:
+                tests.extend(tests_from_columns(columns))
+            self._tests = tests
+            self._shards = None  # the columns are no longer needed
+        return self._tests
+
+    @property
+    def materialized(self) -> bool:
+        return self._tests is not None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyScanTests):
+            return self._materialize() == other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        state = "materialized" if self.materialized else "lazy"
+        return f"LazyScanTests({self._count} tests, {state})"
+
+
+# -- worker-side tasks ------------------------------------------------------------
+
+
+def _init_order(state, table, order, constraints, priors, subsets) -> None:
+    # Each worker owns a private constraint copy that evolves via _adopt
+    # broadcasts.  Process workers get one implicitly from pickling; the
+    # explicit copy keeps the inline fallback identical (adopting into
+    # the master's set through a shared reference would double-add).
+    state["kernel"] = OrderScanKernel(
+        table, order, constraints.copy(), priors, subsets=subsets
+    )
+
+
+def _scan_shard(state, joint):
+    kernel = state.get("kernel")
+    if kernel is None:
+        raise ParallelError("scan worker has no active order")
+    columns = kernel.scan_columns(None, joint=joint)
+    return columns, _best_in_columns(columns)
+
+
+def _adopt(state, constraint) -> None:
+    kernel = state.get("kernel")
+    if kernel is None:
+        raise ParallelError("scan worker has no active order")
+    kernel.constraints.add_cell(constraint)
+    kernel.notify_adopted(constraint.key)
+
+
+def _end_order(state) -> None:
+    state.pop("kernel", None)
+
+
+# -- master side ------------------------------------------------------------------
+
+
+class ShardedScanExecutor:
+    """Runs per-order candidate scans sharded across a worker pool.
+
+    The executor mirrors the engine's use of a single
+    :class:`~repro.significance.kernels.OrderScanKernel`:
+    :meth:`begin_order` distributes the order's subsets,
+    :meth:`scan` evaluates the whole candidate pool (lazy tests plus the
+    globally most significant cell, merged from shard bests),
+    :meth:`notify_adopted` keeps worker constraint copies in sync after
+    each adoption, :meth:`end_order` drops worker state.
+
+    One executor (and its pool) serves a whole discovery run — workers
+    persist across orders, only their per-order kernels are rebuilt.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        pool: WorkerPool | None = None,
+        start_method: str | None = None,
+    ):
+        if pool is None:
+            if max_workers is None:
+                raise ParallelError(
+                    "ShardedScanExecutor needs max_workers or a pool"
+                )
+            pool = WorkerPool(max_workers, start_method=start_method)
+        self.pool = pool
+        self.max_workers = pool.max_workers
+        self._active_shards = 0
+
+    def begin_order(
+        self,
+        table: ContingencyTable,
+        order: int,
+        constraints: ConstraintSet,
+        priors=None,
+    ) -> None:
+        """Broadcast the order's state; shard its subsets over workers."""
+        subsets = table.subsets_of_order(order)
+        shards = max(1, min(self.max_workers, len(subsets)))
+        bounds = shard_bounds(len(subsets), shards)
+        self._active_shards = shards
+        self.pool.run(
+            _TASK_INIT,
+            [
+                (table, order, constraints, priors, tuple(subsets[a:b]))
+                for a, b in bounds
+            ],
+        )
+
+    def scan(
+        self, model: MaxEntModel
+    ) -> tuple[LazyScanTests, CellTest | None]:
+        """One whole-order scan.
+
+        Returns ``(tests, best)``: the lazily-materialized CellTest list
+        (canonical order) and the most significant cell — the same one
+        :func:`~repro.significance.mml.most_significant` would pick from
+        the serial scan, merged from shard-local bests without decoding
+        the full results.
+        """
+        if self._active_shards == 0:
+            raise ParallelError("no active order; call begin_order first")
+        joint = np.ascontiguousarray(model.joint())
+        replies = self.pool.run(
+            _TASK_SCAN, [(joint,)] * self._active_shards
+        )
+        shard_columns = [columns for columns, _best in replies]
+        best_shard = None
+        best_index = None
+        best_delta = 0.0
+        for shard, (columns, best) in enumerate(replies):
+            if best is None:
+                continue
+            index, delta = best
+            # Strict < : the earliest shard keeps ties, exactly like the
+            # serial min() over the concatenated candidate list.
+            if best_index is None or delta < best_delta:
+                best_shard, best_index, best_delta = shard, index, delta
+        chosen = (
+            _test_at(shard_columns[best_shard], best_index)
+            if best_index is not None
+            else None
+        )
+        return LazyScanTests(shard_columns), chosen
+
+    def notify_adopted(self, constraint: CellConstraint) -> None:
+        """Sync an adoption into every worker's constraint copy."""
+        if self._active_shards == 0:
+            raise ParallelError("no active order; call begin_order first")
+        self.pool.run(_TASK_ADOPT, [(constraint,)] * self._active_shards)
+
+    def end_order(self) -> None:
+        """Drop worker-side kernels (workers stay alive for the next order).
+
+        Safe on a dead pool: the engine calls this from a ``finally``, and
+        raising here would mask the error that killed the scan.
+        """
+        if self._active_shards and not self.pool.closed:
+            self.pool.run(_TASK_END, [()] * self._active_shards)
+        self._active_shards = 0
+
+    def close(self) -> None:
+        self._active_shards = 0
+        self.pool.close()
+
+    def __enter__(self) -> "ShardedScanExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ShardedScanExecutor(pool={self.pool!r})"
+
+
+def scan_order_sharded(
+    table: ContingencyTable,
+    model: MaxEntModel,
+    order: int,
+    constraints: ConstraintSet,
+    priors=None,
+    shards: list[tuple[int, int]] | None = None,
+    num_shards: int = 2,
+) -> list[CellTest]:
+    """One sharded whole-order scan, run in-process.
+
+    The pure sharding algebra without a pool: split the order's subsets at
+    ``shards`` bounds (default: :func:`~repro.parallel.pool.shard_bounds`
+    over ``num_shards``), scan each slice with a restricted kernel, and
+    concatenate.  Exists so equivalence tests can exercise arbitrary —
+    including adversarially uneven — splits cheaply; the executor above
+    runs the same per-shard code in worker processes.
+    """
+    subsets = table.subsets_of_order(order)
+    if shards is None:
+        shards = shard_bounds(len(subsets), num_shards)
+    joint = model.joint()
+    tests: list[CellTest] = []
+    for start, stop in shards:
+        kernel = OrderScanKernel(
+            table,
+            order,
+            constraints,
+            priors,
+            subsets=tuple(subsets[start:stop]),
+        )
+        tests.extend(kernel.scan(None, joint=joint))
+    return tests

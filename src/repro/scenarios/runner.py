@@ -72,6 +72,7 @@ class ScenarioOutcome:
     verify_seconds: float
     fit_sweeps: int
     constraints_found: int
+    workers: int = 1
     baselines: list[BaselineScore] = field(default_factory=list)
     gate_failures: list[str] = field(default_factory=list)
 
@@ -120,17 +121,24 @@ def run_scenario(
     scenario: Scenario | str,
     smoke: bool = True,
     include_baselines: bool = True,
+    workers: int = 1,
 ) -> ScenarioOutcome:
-    """Run discovery (+ baselines) on one scenario and score conformance."""
+    """Run discovery (+ baselines) on one scenario and score conformance.
+
+    ``workers > 1`` runs the discovery scans sharded across a worker pool;
+    adoption decisions (and therefore every conformance metric except the
+    timings) are bit-identical to the serial run, which is exactly what
+    CI's parallel-equivalence smoke step relies on.
+    """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     instance = scenario.build(smoke)
     table = instance.table
-    config = DiscoveryConfig(max_order=scenario.max_order)
+    config = DiscoveryConfig(max_order=scenario.max_order, max_workers=workers)
 
     start = time.perf_counter()
-    engine = DiscoveryEngine(config)
-    result = engine.run(table)
+    with DiscoveryEngine(config) as engine:
+        result = engine.run(table)
     seconds = time.perf_counter() - start
 
     recovery = result.score_against(set(instance.truth))
@@ -182,6 +190,7 @@ def run_scenario(
         verify_seconds=profile.verify_seconds if profile else 0.0,
         fit_sweeps=profile.fit_sweeps if profile else 0,
         constraints_found=len(result.found),
+        workers=workers,
         baselines=baselines,
     )
     outcome.gate_failures = check_gates(
@@ -205,6 +214,7 @@ def run_matrix(
     names: Sequence[str] | None = None,
     smoke: bool = True,
     include_baselines: bool = True,
+    workers: int = 1,
 ) -> list[ScenarioOutcome]:
     """Run the conformance runner over (a selection of) the registry."""
     if names is None:
@@ -212,7 +222,7 @@ def run_matrix(
     else:
         scenarios = [get_scenario(name) for name in names]
     return [
-        run_scenario(scenario, smoke, include_baselines)
+        run_scenario(scenario, smoke, include_baselines, workers=workers)
         for scenario in scenarios
     ]
 
@@ -237,6 +247,7 @@ def outcome_to_dict(outcome: ScenarioOutcome) -> dict:
         "stage_fit_s": outcome.fit_seconds,
         "stage_verify_s": outcome.verify_seconds,
         "fit_sweeps": outcome.fit_sweeps,
+        "workers": outcome.workers,
         "baselines": [
             {
                 "selector": b.selector,

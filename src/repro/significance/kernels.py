@@ -56,7 +56,58 @@ from repro.significance.binomial import (
 )
 from repro.significance.result import CellTest
 
-__all__ = ["DiscoveryProfile", "OrderScanKernel", "SubsetStats"]
+__all__ = [
+    "DiscoveryProfile",
+    "OrderScanKernel",
+    "SubsetStats",
+    "tests_from_columns",
+]
+
+#: One subset's scan output in columnar form: ``(names, candidate_values,
+#: observed, predicted, mean, sd, num_sd, m1, m2, determined,
+#: feasible_range)`` — plain tuples and lists of primitives, so shipping a
+#: scan across a process boundary costs a fraction of pickling CellTest
+#: objects.  :func:`tests_from_columns` rebuilds the exact CellTest list.
+SubsetColumns = tuple
+
+
+def tests_from_columns(columns: list[SubsetColumns]) -> list[CellTest]:
+    """Materialize the :class:`CellTest` list a columnar scan encodes.
+
+    This is the same construction loop :meth:`OrderScanKernel.scan` runs,
+    applied to the same lists — bit-identity holds by construction.
+    """
+    tests: list[CellTest] = []
+    for (
+        names,
+        candidate_values,
+        observed,
+        predicted,
+        mean,
+        sd,
+        num_sd,
+        m1,
+        m2,
+        determined,
+        feasible,
+    ) in columns:
+        for i, values in enumerate(candidate_values):
+            tests.append(
+                CellTest(
+                    attributes=names,
+                    values=values,
+                    observed=observed[i],
+                    predicted_probability=predicted[i],
+                    mean=mean[i],
+                    sd=sd[i],
+                    num_sd=num_sd[i],
+                    m1=m1[i],
+                    m2=m2[i],
+                    determined=determined[i],
+                    feasible_range=feasible[i],
+                )
+            )
+    return tests
 
 
 @dataclass
@@ -170,6 +221,7 @@ class OrderScanKernel:
         order: int,
         constraints: ConstraintSet,
         priors=None,
+        subsets=None,
     ):
         from repro.significance.mml import MMLPriors
 
@@ -179,7 +231,24 @@ class OrderScanKernel:
         self.priors = priors or MMLPriors.equal()
         self.schema = table.schema
         self.total = table.total
-        self.subsets = table.subsets_of_order(order)
+        all_subsets = table.subsets_of_order(order)
+        if subsets is None:
+            self.subsets = all_subsets
+        else:
+            # A shard of the order's subsets (the parallel executor's unit
+            # of work).  Candidate-pool accounting below stays GLOBAL —
+            # Eq 45's ln(cells at order − M) counts the whole order, not
+            # the shard — which is what keeps a sharded scan's m2 values
+            # bit-identical to the serial path's.
+            subsets = [tuple(subset) for subset in subsets]
+            known = set(all_subsets)
+            unknown = [subset for subset in subsets if subset not in known]
+            if unknown:
+                raise DataError(
+                    f"subsets {unknown} are not order-{order} subsets of "
+                    f"the table schema"
+                )
+            self.subsets = subsets
         self._num_cells_at_order = table.num_cells_of_order(order)
         self._stats: dict[tuple[str, ...], SubsetStats] = {}
         # Exposed instrumentation (aggregated into DiscoveryProfile by the
@@ -216,12 +285,39 @@ class OrderScanKernel:
 
     # -- scanning -----------------------------------------------------------------
 
-    def scan(self, model: MaxEntModel) -> list[CellTest]:
+    def scan(
+        self, model: MaxEntModel | None, joint: np.ndarray | None = None
+    ) -> list[CellTest]:
         """Evaluate every candidate cell at this order against ``model``.
 
         Equivalent to the scalar reference scan: one joint
         materialization, one marginalization per subset, then pure array
         arithmetic over the cached data-side statistics.
+
+        ``joint`` lets a caller that already materialized the model's
+        joint (the sharded executor broadcasts it once per scan instead
+        of shipping — and re-normalizing — the model in every worker)
+        hand it in directly; ``model`` may then be None.
+        """
+        columns = self.scan_columns(model, joint)
+        start = time.perf_counter()
+        tests = tests_from_columns(columns)
+        construction = time.perf_counter() - start
+        self.last_scan_seconds += construction
+        self.total_scan_seconds += construction
+        return tests
+
+    def scan_columns(
+        self, model: MaxEntModel | None, joint: np.ndarray | None = None
+    ) -> list[SubsetColumns]:
+        """The scan in columnar form: one tuple of lists per subset.
+
+        Everything :meth:`scan` computes, minus the
+        :class:`~repro.significance.result.CellTest` construction — the
+        shape the sharded executor ships across process boundaries
+        (pickling lists of primitives is several times cheaper than
+        pickling dataclass instances) and materializes lazily via
+        :func:`tests_from_columns`.
         """
         start = time.perf_counter()
         constraints = self.constraints
@@ -231,8 +327,12 @@ class OrderScanKernel:
         pool = self._num_cells_at_order - found_at_order
         m1_base = -log(self.priors.p_h1)
         m2_base: float | None = None
-        joint = model.joint()
-        tests: list[CellTest] = []
+        if joint is None:
+            if model is None:
+                raise DataError("scan needs a model or a precomputed joint")
+            joint = model.joint()
+        columns: list[SubsetColumns] = []
+        cells = 0
         for names in self.subsets:
             stats = self._stats.get(names)
             if stats is None:
@@ -271,37 +371,28 @@ class OrderScanKernel:
                     observed_float[zero_sd] == mean[zero_sd], 0.0, np.inf
                 )
 
-            predicted_list = predicted.tolist()
-            mean_list = mean.tolist()
-            sd_list = sd.tolist()
-            num_sd_list = num_sd.tolist()
-            m1_list = m1.tolist()
-            m2_list = m2.tolist()
-            observed_list = stats.observed_list
-            determined_list = stats.determined_list
-            feasible_list = stats.feasible_list
-            for i, values in enumerate(stats.candidate_values):
-                tests.append(
-                    CellTest(
-                        attributes=names,
-                        values=values,
-                        observed=observed_list[i],
-                        predicted_probability=predicted_list[i],
-                        mean=mean_list[i],
-                        sd=sd_list[i],
-                        num_sd=num_sd_list[i],
-                        m1=m1_list[i],
-                        m2=m2_list[i],
-                        determined=determined_list[i],
-                        feasible_range=feasible_list[i],
-                    )
+            cells += len(stats.candidate_values)
+            columns.append(
+                (
+                    names,
+                    stats.candidate_values,
+                    stats.observed_list,
+                    predicted.tolist(),
+                    mean.tolist(),
+                    sd.tolist(),
+                    num_sd.tolist(),
+                    m1.tolist(),
+                    m2.tolist(),
+                    stats.determined_list,
+                    stats.feasible_list,
                 )
+            )
         elapsed = time.perf_counter() - start
         self.scan_calls += 1
-        self.cells_evaluated += len(tests)
+        self.cells_evaluated += cells
         self.last_scan_seconds = elapsed
         self.total_scan_seconds += elapsed
-        return tests
+        return columns
 
     # -- data-side construction ---------------------------------------------------
 

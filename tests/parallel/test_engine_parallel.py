@@ -1,0 +1,69 @@
+"""Acceptance: 4-worker discovery == serial discovery on every scenario.
+
+`repro discover --workers 4` must produce bit-identical adopted
+constraints and fitted models to `--workers 1` on every scenario in the
+registry (smoke sizes; the decisions are size-independent because the
+sharded kernels are float-for-float identical to the serial ones).  One
+engine — and therefore one worker pool — serves all scenarios, the way a
+long-lived service would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import DiscoveryEngine
+from repro.scenarios import get_scenario, run_scenario, scenario_names
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {
+        name: get_scenario(name).build(smoke=True)
+        for name in scenario_names()
+    }
+
+
+def test_every_registry_scenario_is_worker_invariant(instances):
+    for name, instance in instances.items():
+        scenario = get_scenario(name)
+        serial = DiscoveryEngine(
+            DiscoveryConfig(max_order=scenario.max_order)
+        ).run(instance.table)
+        with DiscoveryEngine(
+            DiscoveryConfig(max_order=scenario.max_order, max_workers=4)
+        ) as engine:
+            parallel = engine.run(instance.table)
+        assert [c.key for c in parallel.found] == [
+            c.key for c in serial.found
+        ], f"adopted constraints diverged on scenario {name!r}"
+        assert [c.probability for c in parallel.found] == [
+            c.probability for c in serial.found
+        ], f"constraint targets diverged on scenario {name!r}"
+        assert np.array_equal(
+            parallel.model.joint(), serial.model.joint()
+        ), f"fitted model diverged on scenario {name!r}"
+
+
+def test_max_workers_is_not_serialized():
+    # Execution knob, machine-local: a saved artifact must not spawn
+    # process pools on whatever host later loads it.
+    config = DiscoveryConfig(max_order=2, max_workers=4)
+    data = config.to_dict()
+    assert "max_workers" not in data
+    assert DiscoveryConfig.from_dict(data).max_workers == 1
+
+
+def test_runner_outcomes_match_under_workers():
+    serial = run_scenario(
+        "single-pairwise", smoke=True, workers=1, include_baselines=False
+    )
+    parallel = run_scenario(
+        "single-pairwise", smoke=True, workers=2, include_baselines=False
+    )
+    assert parallel.workers == 2
+    assert parallel.constraints_found == serial.constraints_found
+    assert parallel.precision == serial.precision
+    assert parallel.recall == serial.recall
+    assert parallel.kl_empirical_fitted == serial.kl_empirical_fitted
+    assert parallel.gate_failures == serial.gate_failures

@@ -1,0 +1,254 @@
+"""Sharded scans == serial scans, bit for bit, at every split.
+
+The contract: splitting an order's subsets across shard kernels and
+concatenating their outputs reproduces the serial
+:class:`~repro.significance.kernels.OrderScanKernel` scan exactly — every
+CellTest float (m1, m2, predicted, moments), the feasible ranges and
+determined flags, the cell order, and therefore the greedy argmax — for
+any shard count and any split, including empty and maximally uneven ones.
+At the engine level that makes a parallel discovery run's adopted
+constraints and fitted marginals bit-identical to a serial run's.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data.contingency import ContingencyTable
+from repro.data.schema import Attribute, Schema
+from repro.discovery.config import DiscoveryConfig
+from repro.discovery.engine import DiscoveryEngine
+from repro.exceptions import ConstraintError, DataError, ParallelError
+from repro.maxent.constraints import ConstraintSet
+from repro.maxent.ipf import fit_ipf
+from repro.maxent.model import MaxEntModel
+from repro.parallel.pool import WorkerPool, shard_bounds
+from repro.parallel.scan import ShardedScanExecutor, scan_order_sharded
+from repro.significance.kernels import OrderScanKernel
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def scan_worlds(draw, max_attributes=4, max_values=3):
+    """A random (table, constraints, model) triple ready to scan."""
+    count = draw(st.integers(2, max_attributes))
+    attributes = []
+    for index in range(count):
+        cardinality = draw(st.integers(2, max_values))
+        attributes.append(
+            Attribute(
+                f"ATTR{index}", tuple(f"v{v}" for v in range(cardinality))
+            )
+        )
+    schema = Schema(attributes)
+    cells = schema.num_cells
+    counts = draw(
+        st.lists(st.integers(1, 12), min_size=cells, max_size=cells)
+    )
+    table = ContingencyTable(
+        schema, np.array(counts, dtype=np.int64).reshape(schema.shape)
+    )
+    constraints = ConstraintSet.first_order(table)
+    for _ in range(draw(st.integers(0, 3))):
+        order = draw(st.integers(2, count))
+        subsets = table.subsets_of_order(order)
+        subset = subsets[draw(st.integers(0, len(subsets) - 1))]
+        values = tuple(
+            draw(st.integers(0, schema.attribute(name).cardinality - 1))
+            for name in subset
+        )
+        candidate = constraints.cell_from_table(table, subset, values)
+        if candidate.probability >= 0.99:
+            continue
+        try:
+            constraints.add_cell(candidate)
+        except ConstraintError:
+            continue
+    model = MaxEntModel.independent(
+        schema,
+        {name: table.first_order_probabilities(name) for name in schema.names},
+    )
+    if draw(st.booleans()):
+        try:
+            model = fit_ipf(
+                constraints,
+                initial=model,
+                max_sweeps=40,
+                require_convergence=False,
+            ).model
+        except ConstraintError:
+            pass
+    return table, constraints, model
+
+
+@st.composite
+def shard_splits(draw, n_items: int):
+    """Arbitrary contiguous bounds over ``n_items``: 1-4 shards, any cuts
+    (empty and maximally uneven shards included)."""
+    n_shards = draw(st.integers(1, 4))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(0, n_items),
+                min_size=n_shards - 1,
+                max_size=n_shards - 1,
+            )
+        )
+    )
+    edges = [0, *cuts, n_items]
+    return list(zip(edges, edges[1:]))
+
+
+class TestShardedScanBitIdentity:
+    @SETTINGS
+    @given(world=scan_worlds(), data=st.data())
+    def test_any_split_matches_serial(self, world, data):
+        table, constraints, model = world
+        for order in range(2, len(table.schema) + 1):
+            n_subsets = len(table.subsets_of_order(order))
+            shards = data.draw(shard_splits(n_subsets), label=f"order{order}")
+            try:
+                serial = OrderScanKernel(table, order, constraints).scan(
+                    model
+                )
+            except DataError:
+                with pytest.raises(DataError):
+                    scan_order_sharded(
+                        table, model, order, constraints, shards=shards
+                    )
+                continue
+            sharded = scan_order_sharded(
+                table, model, order, constraints, shards=shards
+            )
+            assert sharded == serial
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4])
+    def test_balanced_splits_match_serial(self, table, num_shards):
+        from repro.discovery.engine import discover
+
+        state = discover(table, DiscoveryConfig(max_order=2))
+        serial = OrderScanKernel(table, 3, state.constraints).scan(
+            state.model
+        )
+        sharded = scan_order_sharded(
+            table,
+            state.model,
+            3,
+            state.constraints,
+            num_shards=num_shards,
+        )
+        assert sharded == serial
+
+    def test_uneven_bounds_cover_and_match(self, table):
+        from repro.discovery.engine import discover
+
+        state = discover(table, DiscoveryConfig(max_order=2))
+        subsets = len(table.subsets_of_order(2))
+        # Maximally uneven: everything in the last shard, two empty.
+        shards = [(0, 0), (0, 0), (0, subsets)]
+        serial = OrderScanKernel(table, 2, state.constraints).scan(
+            state.model
+        )
+        sharded = scan_order_sharded(
+            table, state.model, 2, state.constraints, shards=shards
+        )
+        assert sharded == serial
+
+
+class TestShardedEngineEquivalence:
+    """Engine-level: sharded executors never change discovery's answers."""
+
+    def _survey_table(self):
+        from repro.synth.surveys import medical_survey_population
+
+        rng = np.random.default_rng(11)
+        return medical_survey_population().sample_table(3000, rng)
+
+    def _assert_runs_identical(self, serial, parallel):
+        assert [c.key for c in parallel.found] == [
+            c.key for c in serial.found
+        ]
+        assert [c.probability for c in parallel.found] == [
+            c.probability for c in serial.found
+        ]
+        assert len(parallel.scans) == len(serial.scans)
+        for ours, theirs in zip(parallel.scans, serial.scans):
+            assert ours.order == theirs.order
+            assert ours.tests == theirs.tests  # every m1/m2/moment float
+            assert ours.chosen == theirs.chosen
+        # Fitted model, down to the last bit of every marginal.
+        assert np.array_equal(
+            parallel.model.joint(), serial.model.joint()
+        )
+
+    @pytest.mark.parametrize("num_workers", [1, 2, 3, 4])
+    def test_inline_pools_every_worker_count(self, num_workers):
+        survey = self._survey_table()
+        config = DiscoveryConfig(max_order=3)
+        serial = DiscoveryEngine(config).run(survey)
+        executor = ShardedScanExecutor(
+            pool=WorkerPool(num_workers, inline=True)
+        )
+        with DiscoveryEngine(config, executor=executor) as engine:
+            parallel = engine.run(survey)
+        executor.close()
+        self._assert_runs_identical(serial, parallel)
+
+    def test_process_pool_matches_serial(self):
+        survey = self._survey_table()
+        config = DiscoveryConfig(max_order=3, max_workers=2)
+        serial = DiscoveryEngine(DiscoveryConfig(max_order=3)).run(survey)
+        with DiscoveryEngine(config) as engine:
+            assert engine.executor is not None
+            parallel = engine.run(survey)
+        self._assert_runs_identical(serial, parallel)
+
+    def test_rerun_under_executor_matches_serial(self):
+        rng = np.random.default_rng(23)
+        from repro.synth.surveys import medical_survey_population
+
+        population = medical_survey_population()
+        first = population.sample_table(2500, rng)
+        delta = population.sample_table(800, rng)
+        merged = first + delta
+
+        config = DiscoveryConfig(max_order=2)
+        previous = DiscoveryEngine(config).run(first)
+        serial = DiscoveryEngine(config).rerun(merged, previous)
+        parallel_config = DiscoveryConfig(max_order=2, max_workers=2)
+        with DiscoveryEngine(parallel_config) as engine:
+            parallel = engine.rerun(merged, previous)
+        assert [c.key for c in parallel.found] == [
+            c.key for c in serial.found
+        ]
+        assert np.array_equal(
+            parallel.model.joint(), serial.model.joint()
+        )
+
+
+class TestExecutorLifecycle:
+    def test_scan_without_begin_order_rejected(self):
+        executor = ShardedScanExecutor(pool=WorkerPool(2, inline=True))
+        with pytest.raises(ParallelError):
+            executor.scan(None)
+        executor.close()
+
+    def test_shard_count_capped_by_subsets(self, table):
+        # 3 attributes -> one order-3 subset; 4 workers must collapse to
+        # a single shard rather than initializing empty kernels.
+        constraints = ConstraintSet.first_order(table)
+        executor = ShardedScanExecutor(pool=WorkerPool(4, inline=True))
+        executor.begin_order(table, 3, constraints, None)
+        assert executor._active_shards == 1
+        executor.end_order()
+        executor.close()
+
+    def test_bounds_match_pool_helper(self, table):
+        subsets = table.subsets_of_order(2)
+        assert shard_bounds(len(subsets), 2)[0][0] == 0

@@ -1,0 +1,233 @@
+"""Tests for benchmarks/check_regression.py — the perf-regression gate."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_regression"] = module
+    spec.loader.exec_module(module)
+    yield module
+    del sys.modules["check_regression"]
+
+
+def record(
+    smoke=True,
+    warm=8.0,
+    cpus=4,
+    parallel_cold=2.5,
+    scenario_passed=True,
+):
+    return {
+        "timestamp": "2026-01-01T00:00:00Z",
+        "smoke": smoke,
+        "metrics": {"scan_speedup_warm": warm},
+        "parallel": {
+            "workers": 4,
+            "cpus": cpus,
+            "scan_speedup_cold": parallel_cold,
+            "scan_speedup_warm": parallel_cold,
+            "query_speedup_cold": parallel_cold,
+        },
+        "scenarios": [
+            {
+                "scenario": "independence",
+                "passed": scenario_passed,
+                "gate_failures": []
+                if scenario_passed
+                else ["precision 0.0 < 1.0"],
+            }
+        ],
+    }
+
+
+def write(path, records):
+    path.write_text(json.dumps(records))
+    return str(path)
+
+
+class TestRatioComparison:
+    def test_within_tolerance_passes(self, gate, tmp_path):
+        baseline = write(tmp_path / "base.json", [record(warm=8.0)])
+        candidate = write(tmp_path / "cand.json", [record(warm=6.0)])
+        assert (
+            gate.main(["--baseline", baseline, "--candidate", candidate])
+            == 0
+        )
+
+    def test_degradation_over_tolerance_fails(self, gate, tmp_path, capsys):
+        baseline = write(tmp_path / "base.json", [record(warm=8.0)])
+        candidate = write(tmp_path / "cand.json", [record(warm=4.0)])
+        assert (
+            gate.main(["--baseline", baseline, "--candidate", candidate])
+            == 1
+        )
+        assert "scan_speedup_warm" in capsys.readouterr().err
+
+    def test_baseline_is_minimum_over_matching_records(self, gate, tmp_path):
+        # Two baseline runs, one slow: the candidate only has to beat the
+        # *worst* baseline by the tolerance, damping one-off noise.
+        baseline = write(
+            tmp_path / "base.json", [record(warm=9.0), record(warm=5.0)]
+        )
+        candidate = write(tmp_path / "cand.json", [record(warm=4.0)])
+        assert (
+            gate.main(["--baseline", baseline, "--candidate", candidate])
+            == 0
+        )
+
+    def test_smoke_and_full_records_not_mixed(self, gate, tmp_path):
+        baseline = write(
+            tmp_path / "base.json",
+            [record(smoke=False, warm=20.0), record(smoke=True, warm=6.0)],
+        )
+        candidate = write(
+            tmp_path / "cand.json", [record(smoke=True, warm=5.5)]
+        )
+        assert (
+            gate.main(["--baseline", baseline, "--candidate", candidate])
+            == 0
+        )
+
+    def test_no_matching_mode_means_no_ratio_floor(self, gate, tmp_path):
+        # A full-size-only baseline sets no floor for a smoke candidate:
+        # toy-size timings are never judged against full-size ones.
+        baseline = write(
+            tmp_path / "base.json", [record(smoke=False, warm=20.0)]
+        )
+        candidate = write(
+            tmp_path / "cand.json", [record(smoke=True, warm=2.0)]
+        )
+        output = tmp_path / "diff.json"
+        assert (
+            gate.main(
+                [
+                    "--baseline",
+                    baseline,
+                    "--candidate",
+                    candidate,
+                    "--output",
+                    str(output),
+                ]
+            )
+            == 0
+        )
+        report = json.loads(output.read_text())
+        assert all(
+            row["status"] == "no comparable baseline"
+            for row in report["ratios"]
+        )
+
+    def test_parallel_ratios_skipped_on_single_cpu_candidate(
+        self, gate, tmp_path, capsys
+    ):
+        baseline = write(tmp_path / "base.json", [record(parallel_cold=3.0)])
+        candidate = write(
+            tmp_path / "cand.json",
+            [record(cpus=1, parallel_cold=0.6)],
+        )
+        assert (
+            gate.main(["--baseline", baseline, "--candidate", candidate])
+            == 0
+        )
+        assert "skipped" in capsys.readouterr().out
+
+    def test_single_cpu_baseline_sets_no_parallel_floor(self, gate, tmp_path):
+        baseline = write(
+            tmp_path / "base.json", [record(cpus=1, parallel_cold=0.9)]
+        )
+        candidate = write(
+            tmp_path / "cand.json", [record(cpus=4, parallel_cold=0.5)]
+        )
+        assert (
+            gate.main(["--baseline", baseline, "--candidate", candidate])
+            == 0
+        )
+
+    def test_parallel_regression_on_multicore_fails(self, gate, tmp_path):
+        baseline = write(tmp_path / "base.json", [record(parallel_cold=3.0)])
+        candidate = write(
+            tmp_path / "cand.json", [record(parallel_cold=1.0)]
+        )
+        assert (
+            gate.main(["--baseline", baseline, "--candidate", candidate])
+            == 1
+        )
+
+
+class TestScenarioGates:
+    def test_gate_regression_fails(self, gate, tmp_path, capsys):
+        baseline = write(tmp_path / "base.json", [record()])
+        candidate = write(
+            tmp_path / "cand.json", [record(scenario_passed=False)]
+        )
+        assert (
+            gate.main(["--baseline", baseline, "--candidate", candidate])
+            == 1
+        )
+        assert "independence" in capsys.readouterr().err
+
+    def test_known_bad_baseline_scenario_does_not_block(self, gate, tmp_path):
+        # A scenario already failing in the committed baseline is not a
+        # *regression*; the gate only fails on newly-failing scenarios.
+        baseline = write(
+            tmp_path / "base.json", [record(scenario_passed=False)]
+        )
+        candidate = write(
+            tmp_path / "cand.json", [record(scenario_passed=False)]
+        )
+        assert (
+            gate.main(["--baseline", baseline, "--candidate", candidate])
+            == 0
+        )
+
+
+class TestReportArtifact:
+    def test_output_written_with_verdict(self, gate, tmp_path):
+        baseline = write(tmp_path / "base.json", [record(warm=8.0)])
+        candidate = write(tmp_path / "cand.json", [record(warm=4.0)])
+        output = tmp_path / "diff.json"
+        gate.main(
+            [
+                "--baseline",
+                baseline,
+                "--candidate",
+                candidate,
+                "--output",
+                str(output),
+            ]
+        )
+        report = json.loads(output.read_text())
+        assert report["passed"] is False
+        assert any(
+            row["status"] == "regressed" for row in report["ratios"]
+        )
+        assert report["regressions"]
+
+    def test_custom_tolerance(self, gate, tmp_path):
+        baseline = write(tmp_path / "base.json", [record(warm=8.0)])
+        candidate = write(tmp_path / "cand.json", [record(warm=4.5)])
+        assert (
+            gate.main(
+                [
+                    "--baseline",
+                    baseline,
+                    "--candidate",
+                    candidate,
+                    "--tolerance",
+                    "0.5",
+                ]
+            )
+            == 0
+        )

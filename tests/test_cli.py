@@ -39,7 +39,11 @@ def test_discover_with_csv(capsys, schema, table, rng, tmp_path):
 
 def test_discover_profile(capsys):
     assert main(["discover", "--profile", "--max-order", "2"]) == 0
-    output = capsys.readouterr().out
+    captured = capsys.readouterr()
+    # The timing table is diagnostics: stderr only, stdout stays the
+    # summary so piped output remains parseable.
+    output = captured.err
+    assert "discovery stage timings" not in captured.out
     assert "discovery stage timings" in output
     for stage in ("scan", "fit", "verify"):
         assert stage in output
@@ -56,9 +60,23 @@ def test_discover_profile_with_save(capsys, tmp_path):
     assert main(
         ["discover", "--profile", "--max-order", "2", "--save", str(target)]
     ) == 0
-    output = capsys.readouterr().out
-    assert "discovery stage timings" in output
+    assert "discovery stage timings" in capsys.readouterr().err
     assert target.exists()
+
+
+@pytest.mark.parametrize(
+    "command",
+    [
+        ["discover", "--workers", "0", "--max-order", "2"],
+        ["query", "--workers", "-2", "CANCER=yes"],
+        ["scenarios", "run", "--smoke", "--workers", "0"],
+    ],
+)
+def test_bad_worker_count_rejected_at_parse_time(capsys, command):
+    with pytest.raises(SystemExit) as excinfo:
+        main(command)
+    assert excinfo.value.code == 2
+    assert "must be >= 1" in capsys.readouterr().err
 
 
 def test_recovery_command(capsys):

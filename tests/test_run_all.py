@@ -29,7 +29,7 @@ def run_all():
 
 @pytest.fixture
 def stubbed(run_all, monkeypatch):
-    calls = {"suite": [], "discovery": [], "scenarios": []}
+    calls = {"suite": [], "discovery": [], "parallel": [], "scenarios": []}
     monkeypatch.setattr(
         run_all,
         "run_suite",
@@ -40,6 +40,12 @@ def stubbed(run_all, monkeypatch):
         "measure_discovery",
         lambda smoke: calls["discovery"].append(smoke)
         or {"scan_speedup_warm": 7.5},
+    )
+    monkeypatch.setattr(
+        run_all,
+        "measure_parallel",
+        lambda smoke: calls["parallel"].append(smoke)
+        or {"workers": 4, "cpus": 4, "scan_speedup_cold": 2.5},
     )
     monkeypatch.setattr(
         run_all,
@@ -105,6 +111,11 @@ class TestTrajectoryRecord:
         assert isinstance(history, list) and len(history) == 1
         record = history[0]
         assert record["metrics"] == {"scan_speedup_warm": 7.5}
+        assert record["parallel"] == {
+            "workers": 4,
+            "cpus": 4,
+            "scan_speedup_cold": 2.5,
+        }
         assert record["scenarios"] == [
             {"scenario": "independence", "passed": True}
         ]
