@@ -11,7 +11,8 @@ Usage::
 Checks, against the committed ``BENCH_discovery.json`` trajectory:
 
 - **tracked speedup ratios** (vectorized-scan speedup, sharded-scan and
-  parallel-query speedups): fail when the candidate degrades more than
+  parallel-query speedups, multi-client serving throughput): fail when
+  the candidate degrades more than
   ``--tolerance`` (default 30%) below the baseline.  Ratios are compared
   only between records with the same ``smoke`` flag (toy-size and
   full-size timings are not comparable), and the baseline value for a
@@ -43,6 +44,10 @@ TRACKED_RATIOS = (
     ("parallel.scan_speedup_cold", True),
     ("parallel.scan_speedup_warm", True),
     ("parallel.query_speedup_cold", True),
+    # Multi-client served throughput over the single-client floor.  Not
+    # cpu-bound: the win comes from request coalescing and I/O overlap,
+    # which survive on small machines.
+    ("serving.throughput_ratio", False),
 )
 
 

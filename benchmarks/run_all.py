@@ -14,7 +14,10 @@ reference-backed discovery runs, and the engine's per-stage split — checks
 that the vectorized and reference decisions are identical, measures the
 parallel subsystem (sharded scans and concurrent batch queries vs the
 serial paths, equivalence asserted, ratios recorded with the machine's
-CPU count), runs the scenario conformance matrix (``repro.scenarios``)
+CPU count), measures the serving layer (closed/open-loop RPS and latency
+through the :mod:`repro.serve` network stack, served answers asserted
+bit-identical to in-process queries), runs the scenario conformance
+matrix (``repro.scenarios``)
 and embeds its per-scenario precision/recall/KL/stage metrics, and
 appends one record to a trajectory file (default ``BENCH_discovery.json``
 at the repo root).  The file is a JSON list, one record per invocation,
@@ -225,6 +228,20 @@ def measure_parallel(smoke: bool) -> dict:
     }
 
 
+def measure_serving(smoke: bool) -> dict:
+    """Serving-layer trajectory metrics (bit-identity always checked).
+
+    The workload comes from ``_serving_scenario``, the module
+    ``bench_serving.py`` uses: the paper's knowledge base behind the
+    full :mod:`repro.serve` network stack.  The multi-vs-single-client
+    throughput ratio is recorded here and gated by
+    ``check_regression.py`` (``serving.throughput_ratio``).
+    """
+    from _serving_scenario import measure_serving as _measure
+
+    return _measure(smoke)
+
+
 def measure_scenarios(smoke: bool) -> list[dict]:
     """Per-scenario conformance metrics for the trajectory record.
 
@@ -292,6 +309,7 @@ def main(argv: list[str] | None = None) -> int:
         started = time.time()
         metrics = measure_discovery(args.smoke)
         parallel = measure_parallel(args.smoke)
+        serving = measure_serving(args.smoke)
         scenarios = measure_scenarios(args.smoke)
         record = {
             "timestamp": time.strftime(
@@ -301,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "metrics": metrics,
             "parallel": parallel,
+            "serving": serving,
             "scenarios": scenarios,
         }
         path = Path(args.json)
@@ -327,6 +346,8 @@ def main(argv: list[str] | None = None) -> int:
             f"sharded x{parallel['workers']} cold scan "
             f"{parallel['scan_speedup_cold']:.1f}x on "
             f"{parallel['cpus']} cpus, "
+            f"served x{serving['clients']} throughput "
+            f"{serving['throughput_ratio']:.1f}x the single-client floor, "
             f"{len(scenarios)} scenarios conformant)"
         )
     return status

@@ -19,6 +19,8 @@ Usage::
     repro scenarios list                        # registered workloads
     repro scenarios run --smoke --json -        # conformance matrix (CI gate)
     repro scenarios run --smoke --workers 2     # parallel-equivalence pass
+    repro serve                                 # serve the paper KB over HTTP
+    repro serve --kb prod=kb.json --port 8741   # serve saved knowledge bases
 """
 
 from __future__ import annotations
@@ -239,6 +241,71 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "serve knowledge bases over HTTP + WebSocket (query, batch, "
+            "mpe, explain, hot-swapping update, revision subscriptions)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--kb",
+        action="append",
+        metavar="NAME=PATH",
+        help=(
+            "host a saved knowledge-base JSON under NAME (repeatable); "
+            "default: the paper's data as 'paper'"
+        ),
+    )
+    serve_parser.add_argument(
+        "--csv",
+        help="fit a knowledge base from this CSV and host it as 'data'",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8741,
+        help="bind port (0 = ephemeral, printed at startup)",
+    )
+    serve_parser.add_argument(
+        "--flush-ms",
+        type=float,
+        default=2.0,
+        help=(
+            "request-coalescing flush window in milliseconds "
+            "(0 disables coalescing)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="flush a coalesced batch as soon as it reaches this size",
+    )
+    serve_parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=4,
+        help="warm query sessions retained per knowledge base",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default="auto",
+        help="inference backend for pooled sessions",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help=(
+            "worker processes per pooled session for batch evaluation "
+            "(default 1 = in-process)"
+        ),
+    )
+
     args = parser.parse_args(argv)
     if args.command == "figure1":
         print(harness.reproduce_figure1())
@@ -319,6 +386,72 @@ def main(argv: list[str] | None = None) -> int:
         return _run_query(args)
     elif args.command == "scenarios":
         return _run_scenarios(args)
+    elif args.command == "serve":
+        return _run_serve(args)
+    return 0
+
+
+def _run_serve(args) -> int:
+    import json
+
+    from repro.exceptions import ReproError
+
+    try:
+        return _run_serve_inner(args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_serve_inner(args) -> int:
+    import asyncio
+
+    from repro.serve import ReproServer, ServeConfig
+
+    kbs: dict[str, ProbabilisticKnowledgeBase] = {}
+    for spec in args.kb or []:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            print(
+                f"error: --kb expects NAME=PATH, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        kbs[name] = ProbabilisticKnowledgeBase.load(path)
+    if args.csv:
+        kbs["data"] = ProbabilisticKnowledgeBase.from_data(
+            read_dataset_csv(args.csv).to_contingency()
+        )
+    if not kbs:
+        kbs["paper"] = ProbabilisticKnowledgeBase.from_data(paper_table())
+
+    config = ServeConfig(
+        flush_interval=args.flush_ms / 1000.0,
+        max_batch=args.max_batch,
+        pool_size=args.pool_size,
+        backend=args.backend,
+        session_workers=args.workers,
+    )
+    server = ReproServer(host=args.host, port=args.port, config=config)
+    for name, kb in kbs.items():
+        server.add(name, kb)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"serving {sorted(kbs)} on http://{server.host}:{server.port}"
+            f" (Ctrl-C to stop)",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
     return 0
 
 

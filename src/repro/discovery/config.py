@@ -50,6 +50,15 @@ class DiscoveryConfig:
         for that reason it is machine-local and deliberately *not*
         serialized with the knowledge base (a saved artifact must not
         spawn process pools on whatever host later loads it).
+    parallel_scan_threshold:
+        Minimum candidate-pool size (total marginal cells at an order)
+        for a sharded scan to engage.  Below it the per-shard dispatch
+        and merge overhead dwarfs the scan itself, so the engine runs
+        the serial kernel even when ``max_workers > 1`` — which also
+        skips spawning workers entirely when every order stays small.
+        The chosen path per order lands in
+        :attr:`~repro.significance.kernels.DiscoveryProfile.scan_paths`.
+        Machine-local like ``max_workers`` and likewise not serialized.
     """
 
     max_order: int | None = None
@@ -60,6 +69,7 @@ class DiscoveryConfig:
     max_constraints: int | None = None
     given_constraints: tuple[CellConstraint, ...] = ()
     max_workers: int = 1
+    parallel_scan_threshold: int = 512
 
     def __post_init__(self) -> None:
         if not isinstance(self.given_constraints, tuple):
@@ -85,6 +95,11 @@ class DiscoveryConfig:
         if self.max_workers < 1:
             raise DataError(
                 f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.parallel_scan_threshold < 0:
+            raise DataError(
+                f"parallel_scan_threshold must be >= 0, got "
+                f"{self.parallel_scan_threshold}"
             )
 
     def to_dict(self) -> dict:

@@ -73,8 +73,13 @@ class DiscoveryEngine:
         per-order scans across worker processes.  When omitted and
         ``config.max_workers > 1`` (kernel backend only), the engine
         creates — and owns — one; call :meth:`close` (or use the engine
-        as a context manager) to stop its workers.  Sharded results are
-        merged in canonical candidate order, so adoption decisions are
+        as a context manager) to stop its workers.  A config-created
+        executor only engages on orders whose candidate pool reaches
+        ``config.parallel_scan_threshold`` — smaller orders run the
+        serial kernel (and spawn no workers), with the chosen path per
+        order recorded in ``profile.scan_paths``.  An executor passed in
+        explicitly is always used.  Sharded results are merged in
+        canonical candidate order, so adoption decisions are
         bit-identical to the serial path regardless of worker count.
     """
 
@@ -311,10 +316,27 @@ class DiscoveryEngine:
         profile = self.profile
         kernel: OrderScanKernel | None = None
         executor = self.executor if self.scan_backend == "kernel" else None
+        pool_cells = _candidate_pool_size(table, order)
+        if (
+            executor is not None
+            and self._owns_executor
+            and pool_cells < config.parallel_scan_threshold
+        ):
+            # Small pool: shard dispatch + merge costs more than the scan,
+            # so a config-created executor is bypassed for this order (an
+            # explicitly supplied executor is the caller's decision and is
+            # always honored).  Falling through to the serial kernel also
+            # means a run whose orders all stay small never spawns worker
+            # processes at all (the pool starts them lazily on first use).
+            executor = None
         if executor is not None:
+            profile.record_scan_path(order, "sharded", pool_cells)
             executor.begin_order(table, order, constraints, config.priors)
         elif self.scan_backend == "kernel":
+            profile.record_scan_path(order, "serial", pool_cells)
             kernel = OrderScanKernel(table, order, constraints, config.priors)
+        else:
+            profile.record_scan_path(order, "reference", pool_cells)
         try:
             return self._scan_level_loop(
                 table, order, constraints, model, result, kernel, executor
@@ -429,6 +451,18 @@ class DiscoveryEngine:
             return False
         adopted = len(constraints.cells) - getattr(self, "_num_given", 0)
         return adopted >= cap
+
+
+def _candidate_pool_size(table: ContingencyTable, order: int) -> int:
+    """Total marginal cells at ``order`` — the scan's candidate pool."""
+    schema = table.schema
+    total = 0
+    for subset in table.subsets_of_order(order):
+        cells = 1
+        for name in subset:
+            cells *= schema.attribute(name).cardinality
+        total += cells
+    return total
 
 
 def discover(

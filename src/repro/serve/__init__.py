@@ -1,0 +1,40 @@
+"""repro.serve — the async network serving layer.
+
+Hosts named knowledge bases behind an asyncio HTTP + WebSocket API with
+request coalescing, warm session pools, and atomic hot-swap on update.
+Served answers are bit-identical to in-process ``kb.query()``.
+
+Quick start::
+
+    from repro.serve import ServeClient, ServeConfig, serve_in_thread
+
+    with serve_in_thread({"paper": kb}) as handle:
+        client = ServeClient(handle.host, handle.port)
+        answer = client.ask("paper", "P(CANCER=yes | SMOKING=smoker)")
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.client import ServeClient, ServedError, Subscription
+from repro.serve.errors import ApiError
+from repro.serve.pool import SessionPool
+from repro.serve.registry import (
+    HostedKB,
+    KnowledgeBaseRegistry,
+    ServeConfig,
+)
+from repro.serve.server import ReproServer, ServerHandle, serve_in_thread
+
+__all__ = [
+    "ApiError",
+    "BatcherStats",
+    "HostedKB",
+    "KnowledgeBaseRegistry",
+    "MicroBatcher",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "ServedError",
+    "ServerHandle",
+    "SessionPool",
+    "Subscription",
+]

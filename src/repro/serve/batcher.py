@@ -1,0 +1,195 @@
+"""Request coalescing: many concurrent single queries, one batch call.
+
+``POST /kb/{name}/query`` is the endpoint millions of independent clients
+hit, one query each — exactly the shape :meth:`QuerySession.batch` was
+built to amortize (shared marginals, one joint materialization).  The
+:class:`MicroBatcher` bridges the two: concurrent submissions within a
+bounded flush window are collected and evaluated as one batch, so under
+load the per-query cost approaches the batch path's, while an idle
+server adds at most ``flush_interval`` of latency to a lone request.
+
+Mechanics
+---------
+- the first submission into an empty buffer arms a flush timer
+  (``flush_interval`` seconds); everything submitted before it fires
+  joins the same batch;
+- reaching ``max_batch`` pending queries flushes immediately (bounded
+  batch size beats a bounded window);
+- ``flush_interval=0`` (or ``max_batch=1``) degenerates to per-request
+  dispatch — the knob for latency-critical deployments;
+- each flush calls the supplied async runner with the query list; the
+  runner returns one result *per query*, where a result may be an
+  exception instance — that query's future fails, the rest succeed
+  (error isolation: one bad query cannot poison its batch-mates).
+
+The batcher is event-loop-native and must be driven from a single loop;
+the blocking work happens inside the runner (typically shipped to a
+thread-pool executor by the caller).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.exceptions import DataError
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+#: Default flush window: long enough to coalesce a concurrent burst,
+#: short enough to be invisible next to network latency.
+DEFAULT_FLUSH_INTERVAL = 0.002
+DEFAULT_MAX_BATCH = 64
+
+
+@dataclass
+class BatcherStats:
+    """Coalescing counters (monotonic since construction)."""
+
+    submitted: int = 0
+    flushes: int = 0
+    coalesced_flushes: int = 0  # flushes that carried > 1 query
+    max_batch_seen: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> dict:
+        mean = self.submitted / self.flushes if self.flushes else 0.0
+        return {
+            "submitted": self.submitted,
+            "flushes": self.flushes,
+            "coalesced_flushes": self.coalesced_flushes,
+            "mean_batch": mean,
+            "max_batch": self.max_batch_seen,
+            "errors": self.errors,
+        }
+
+
+@dataclass
+class _Pending:
+    query: object
+    future: asyncio.Future = field(repr=False)
+
+
+class MicroBatcher:
+    """Coalesces awaited submissions into bounded-latency batches.
+
+    Parameters
+    ----------
+    runner:
+        ``async (queries: list) -> list`` evaluating one flush.  Must
+        return exactly one entry per query; an entry that is an
+        ``Exception`` instance fails only its own submission.
+    flush_interval:
+        Seconds the first submission in a batch waits for company.
+        0 flushes every submission immediately.
+    max_batch:
+        Flush as soon as this many queries are pending.
+    """
+
+    def __init__(
+        self,
+        runner,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        max_batch: int = DEFAULT_MAX_BATCH,
+    ):
+        if flush_interval < 0:
+            raise DataError(
+                f"flush_interval must be >= 0, got {flush_interval}"
+            )
+        if max_batch < 1:
+            raise DataError(f"max_batch must be >= 1, got {max_batch}")
+        self._runner = runner
+        self.flush_interval = float(flush_interval)
+        self.max_batch = int(max_batch)
+        self.stats = BatcherStats()
+        self._pending: list[_Pending] = []
+        self._timer: asyncio.TimerHandle | None = None
+        self._closed = False
+
+    @property
+    def pending(self) -> int:
+        """Queries buffered and not yet flushed."""
+        return len(self._pending)
+
+    async def submit(self, query):
+        """Queue one query; resolves with its result (or raises its error).
+
+        Joins the current flush window, opening one if none is armed.
+        """
+        if self._closed:
+            raise DataError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append(_Pending(query, future))
+        self.stats.submitted += 1
+        if (
+            len(self._pending) >= self.max_batch
+            or self.flush_interval == 0.0
+        ):
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.flush_interval, self._flush)
+        return await future
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        self.stats.flushes += 1
+        if len(batch) > 1:
+            self.stats.coalesced_flushes += 1
+        self.stats.max_batch_seen = max(
+            self.stats.max_batch_seen, len(batch)
+        )
+        asyncio.get_running_loop().create_task(self._run(batch))
+
+    async def _run(self, batch: list[_Pending]) -> None:
+        queries = [item.query for item in batch]
+        try:
+            results = await self._runner(queries)
+        except BaseException as error:
+            # A runner-level failure (pool died, server bug) fails the
+            # whole flush — per-query isolation is the runner's job.
+            self.stats.errors += len(batch)
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(error)
+            return
+        if len(results) != len(batch):
+            error = DataError(
+                f"batch runner returned {len(results)} results for "
+                f"{len(batch)} queries"
+            )
+            self.stats.errors += len(batch)
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(error)
+            return
+        for item, result in zip(batch, results):
+            if item.future.done():
+                continue  # submitter went away (client disconnect)
+            if isinstance(result, Exception):
+                self.stats.errors += 1
+                item.future.set_exception(result)
+            else:
+                item.future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush anything pending and wait for its futures to settle."""
+        waiters = [item.future for item in self._pending]
+        self._flush()
+        if waiters:
+            await asyncio.gather(*waiters, return_exceptions=True)
+
+    def close(self) -> None:
+        """Reject new submissions; pending ones still complete."""
+        self._closed = True
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(window={self.flush_interval * 1e3:.1f}ms, "
+            f"max_batch={self.max_batch}, pending={self.pending})"
+        )

@@ -1,0 +1,291 @@
+"""A blocking client for the serving API.
+
+Tests, benchmarks, and demos need to drive a live server from ordinary
+synchronous code — and the conformance suite needs a client that does
+*no* numeric processing of its own, so a served probability arrives as
+the bit-identical binary64 the server computed.  :class:`ServeClient`
+wraps ``http.client`` (keep-alive, JSON bodies) and a raw-socket
+WebSocket subscriber built on the same frame codec as the server.
+
+Server-side error envelopes re-raise as :class:`ServedError`, carrying
+the typed payload (``status``, ``kind``, message) so callers can assert
+on the error taxonomy without string-scraping.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import socket
+import struct
+from http.client import HTTPConnection
+
+from repro.exceptions import DataError, ReproError
+from repro.serve.websocket import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    accept_key,
+    encode_frame,
+    parse_frame_header,
+    unmask,
+)
+
+__all__ = ["ServeClient", "ServedError", "Subscription"]
+
+
+class ServedError(ReproError):
+    """A typed error envelope returned by the server."""
+
+    def __init__(self, status: int, kind: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return (
+            f"ServedError(status={self.status}, kind={self.kind!r}, "
+            f"message={str(self)!r})"
+        )
+
+
+class ServeClient:
+    """Blocking JSON client for one server; reuses one keep-alive socket."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: HTTPConnection | None = None
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _conn(self) -> HTTPConnection:
+        if self._connection is None:
+            self._connection = HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def request(self, method: str, path: str, payload=None) -> dict:
+        """One round trip; raises :class:`ServedError` on an envelope."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            connection = self._conn()
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+        except (ConnectionError, socket.timeout, OSError):
+            # A dropped keep-alive socket gets one fresh retry.
+            self.close()
+            connection = self._conn()
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+        document = json.loads(data) if data else {}
+        if response.status >= 400:
+            error = document.get("error", {})
+            raise ServedError(
+                status=response.status,
+                kind=error.get("type", "Unknown"),
+                message=error.get("message", data.decode("utf-8", "replace")),
+            )
+        return document
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints ----------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self.request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def kbs(self) -> list[str]:
+        return self.request("GET", "/kbs")["kbs"]
+
+    def describe(self, kb: str) -> dict:
+        return self.request("GET", f"/kb/{kb}")
+
+    def kb_stats(self, kb: str) -> dict:
+        return self.request("GET", f"/kb/{kb}/stats")
+
+    def query(self, kb: str, text: str) -> dict:
+        """Full response document for one query."""
+        return self.request(
+            "POST", f"/kb/{kb}/query", {"query": text}
+        )
+
+    def ask(self, kb: str, text: str) -> float:
+        """Just the answer, as the exact served float."""
+        return self.query(kb, text)["answer"]
+
+    def batch(self, kb: str, queries: list[str]) -> dict:
+        return self.request(
+            "POST", f"/kb/{kb}/batch", {"queries": list(queries)}
+        )
+
+    def mpe(self, kb: str, given: dict | None = None) -> dict:
+        return self.request(
+            "POST", f"/kb/{kb}/mpe", {"given": given or {}}
+        )
+
+    def explain(self, kb: str, target: dict, given: dict) -> dict:
+        return self.request(
+            "POST",
+            f"/kb/{kb}/explain",
+            {"target": target, "given": given},
+        )
+
+    def update(
+        self,
+        kb: str,
+        rows: list[dict] | None = None,
+        samples: list | None = None,
+    ) -> dict:
+        payload: dict = {}
+        if rows is not None:
+            payload["rows"] = rows
+        if samples is not None:
+            payload["samples"] = samples
+        return self.request("POST", f"/kb/{kb}/update", payload)
+
+    def subscribe(self, kb: str, timeout: float = 30.0) -> "Subscription":
+        """Open the WebSocket notification channel for ``kb``."""
+        return Subscription(self.host, self.port, kb, timeout=timeout)
+
+
+class Subscription:
+    """A blocking WebSocket subscription to one knowledge base."""
+
+    def __init__(
+        self, host: str, port: int, kb: str, timeout: float = 30.0
+    ):
+        self.kb = kb
+        self._sock = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+        self._file = self._sock.makefile("rb")
+        self._closed = False
+        self._handshake(host, port, kb)
+
+    def _handshake(self, host: str, port: int, kb: str) -> None:
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        request = (
+            f"GET /kb/{kb}/subscribe HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            f"Upgrade: websocket\r\n"
+            f"Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            f"Sec-WebSocket-Version: 13\r\n"
+            f"\r\n"
+        )
+        self._sock.sendall(request.encode("latin-1"))
+        status_line = self._file.readline().decode("latin-1")
+        headers = {}
+        while True:
+            line = self._file.readline().decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if " 101 " not in status_line:
+            body = b""
+            length = int(headers.get("content-length", 0) or 0)
+            if length:
+                body = self._file.read(length)
+            self.close()
+            try:
+                error = json.loads(body).get("error", {})
+            except (ValueError, AttributeError):
+                error = {}
+            raise ServedError(
+                status=int(status_line.split(" ")[1])
+                if len(status_line.split(" ")) > 1
+                else 500,
+                kind=error.get("type", "Unknown"),
+                message=error.get(
+                    "message", f"WebSocket upgrade refused: {status_line!r}"
+                ),
+            )
+        expected = accept_key(key)
+        if headers.get("sec-websocket-accept") != expected:
+            self.close()
+            raise DataError(
+                "server returned a bad Sec-WebSocket-Accept key"
+            )
+
+    def _read_frame(self) -> tuple[int, bytes]:
+        header = self._file.read(2)
+        opcode, fin, masked, length_field = parse_frame_header(header)
+        if length_field == 126:
+            (length,) = struct.unpack(">H", self._file.read(2))
+        elif length_field == 127:
+            (length,) = struct.unpack(">Q", self._file.read(8))
+        else:
+            length = length_field
+        key = self._file.read(4) if masked else b""
+        payload = self._file.read(length) if length else b""
+        if masked:
+            payload = unmask(payload, key)
+        return opcode, payload
+
+    def recv(self, timeout: float | None = None) -> dict | None:
+        """Next JSON notification; None once the server closes the channel.
+
+        Raises ``socket.timeout`` (``TimeoutError``) if nothing arrives in
+        ``timeout`` seconds.
+        """
+        if self._closed:
+            return None
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        while True:
+            opcode, payload = self._read_frame()
+            if opcode == OP_TEXT:
+                return json.loads(payload.decode("utf-8"))
+            if opcode == OP_PING:
+                self._sock.sendall(
+                    encode_frame(OP_PONG, payload, mask=True)
+                )
+                continue
+            if opcode == OP_CLOSE:
+                self.close()
+                return None
+            # Binary / pong frames are not part of the protocol; skip.
+
+    def close(self) -> None:
+        """Send a close frame (best-effort) and drop the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.sendall(encode_frame(OP_CLOSE, b"", mask=True))
+        except OSError:
+            pass
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,85 @@
+"""Typed JSON error envelopes for the serving layer.
+
+Every error a handler raises — a malformed query, an unknown knowledge
+base, a worker death — leaves the server as the same JSON shape::
+
+    {"error": {"type": "QueryError", "message": "...", "status": 400}}
+
+Library exceptions (:class:`~repro.exceptions.ReproError` subclasses) map
+to stable HTTP status codes by *type*, so a client can branch on
+``error.type`` exactly as in-process code branches on the exception class.
+Anything that is not a library error is a server bug and maps to 500 with
+its type name preserved for diagnosis.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.exceptions import (
+    ConstraintError,
+    ConvergenceError,
+    DataError,
+    ParallelError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+
+__all__ = ["ApiError", "error_body", "status_for"]
+
+#: Library-exception → HTTP status.  Client errors (the request itself is
+#: wrong) are 4xx; server-side failures (a worker died, a solver did not
+#: converge) are 5xx.  Order matters only for documentation — lookup walks
+#: the exception's MRO, so subclasses inherit their parent's status unless
+#: listed explicitly.
+_STATUS_BY_TYPE: tuple[tuple[type, int], ...] = (
+    (QueryError, 400),
+    (SchemaError, 400),
+    (DataError, 422),
+    (ConstraintError, 422),
+    (ParallelError, 500),
+    (ConvergenceError, 500),
+    (ReproError, 500),
+)
+
+
+class ApiError(ReproError):
+    """A serving-layer error with an explicit HTTP status.
+
+    Raised by the router and handlers for conditions that have no
+    library-exception analogue: unknown knowledge base (404), unknown
+    route (404), wrong method (405), malformed JSON body (400), payload
+    too large (413).
+    """
+
+    def __init__(self, status: int, message: str, kind: str | None = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.kind = kind or type(self).__name__
+
+
+def status_for(error: BaseException) -> int:
+    """HTTP status for an exception, by its place in the hierarchy."""
+    if isinstance(error, ApiError):
+        return error.status
+    for exc_type, status in _STATUS_BY_TYPE:
+        if isinstance(error, exc_type):
+            return status
+    return 500
+
+
+def error_body(error: BaseException) -> tuple[int, bytes]:
+    """``(status, JSON envelope bytes)`` for an exception."""
+    status = status_for(error)
+    kind = (
+        error.kind if isinstance(error, ApiError) else type(error).__name__
+    )
+    payload = {
+        "error": {
+            "type": kind,
+            "message": str(error),
+            "status": status,
+        }
+    }
+    return status, json.dumps(payload).encode("utf-8")

@@ -1,0 +1,421 @@
+"""The serving registry: named knowledge bases with atomic hot-swap.
+
+A :class:`KnowledgeBaseRegistry` hosts N named
+:class:`~repro.core.knowledge_base.ProbabilisticKnowledgeBase` objects,
+each wrapped in a :class:`HostedKB` that owns what serving adds on top of
+the library:
+
+- a :class:`~repro.serve.pool.SessionPool` of warm
+  :class:`~repro.api.session.QuerySession` objects (blocking evaluation
+  runs on the registry's thread-pool executor, one session checked out
+  per concurrent call);
+- a :class:`~repro.serve.batcher.MicroBatcher` coalescing concurrent
+  single-query requests into ``session.batch`` calls;
+- subscriber queues feeding WebSocket revision notifications;
+- per-endpoint counters for ``/stats``.
+
+Hot-swap semantics
+------------------
+``POST /update`` must not mutate the served model in place: executor
+threads may be reading its tensors mid-request.  Instead the update runs
+on a *clone* (an exact float-preserving ``to_dict``/``from_dict`` round
+trip of the knowledge base, whose warm rediscovery is therefore
+bit-identical to updating the original), and the registry entry is
+swapped atomically on the event loop: in-flight requests finish on the
+session pool — and model fingerprint — they checked out, new requests
+see the new revision, the superseded pool is retired (idle sessions
+closed now, outstanding ones at checkin — no leaked worker processes),
+and every subscriber gets a revision-change notification.
+
+A knowledge base updated *in place* from outside the server (e.g. an
+embedded :class:`~repro.lifecycle.LiveKnowledgeBase` absorbing a stream)
+still propagates: pooled sessions detect the model fingerprint change
+exactly as in-process sessions do.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.knowledge_base import ProbabilisticKnowledgeBase
+from repro.core.explain import explain
+from repro.data.streaming import TableBuilder
+from repro.exceptions import DataError, ReproError
+from repro.serve.batcher import (
+    DEFAULT_FLUSH_INTERVAL,
+    DEFAULT_MAX_BATCH,
+    MicroBatcher,
+)
+from repro.serve.errors import ApiError
+from repro.serve.pool import SessionPool
+
+__all__ = ["HostedKB", "KnowledgeBaseRegistry", "ServeConfig"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Serving knobs, shared by every hosted knowledge base.
+
+    Attributes
+    ----------
+    flush_interval:
+        Micro-batcher flush window in seconds (0 = no coalescing).
+    max_batch:
+        Coalesced-batch size cap (reaching it flushes immediately).
+    pool_size:
+        Retained sessions per knowledge base (and the default executor
+        thread count, so a checkout never has to block on the pool).
+    backend:
+        Inference backend for pooled sessions.
+    cache_size:
+        Session cache bound; None for the session default.
+    session_workers:
+        ``max_workers`` for pooled sessions — worker *processes* behind
+        each session's batch path.
+    executor_threads:
+        Thread-pool size for blocking evaluation; None sizes it to
+        ``pool_size`` + 2 (updates and stats never starve queries).
+    """
+
+    flush_interval: float = DEFAULT_FLUSH_INTERVAL
+    max_batch: int = DEFAULT_MAX_BATCH
+    pool_size: int = 4
+    backend: str = "auto"
+    cache_size: int | None = None
+    session_workers: int = 1
+    executor_threads: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.flush_interval < 0:
+            raise DataError(
+                f"flush_interval must be >= 0, got {self.flush_interval}"
+            )
+        if self.max_batch < 1:
+            raise DataError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.pool_size < 1:
+            raise DataError(
+                f"pool_size must be >= 1, got {self.pool_size}"
+            )
+        if self.session_workers < 1:
+            raise DataError(
+                f"session_workers must be >= 1, got {self.session_workers}"
+            )
+
+
+class HostedKB:
+    """One named knowledge base and its serving machinery."""
+
+    def __init__(
+        self,
+        name: str,
+        kb: ProbabilisticKnowledgeBase,
+        config: ServeConfig,
+        executor: ThreadPoolExecutor,
+    ):
+        self.name = name
+        self.kb = kb
+        self.config = config
+        self._executor = executor
+        self.pool = self._build_pool(kb)
+        self.batcher = MicroBatcher(
+            self._run_coalesced,
+            flush_interval=config.flush_interval,
+            max_batch=config.max_batch,
+        )
+        self._update_lock = asyncio.Lock()
+        self.subscribers: set[asyncio.Queue] = set()
+        self.counters: dict[str, int] = {}
+        self.updates_served = 0
+
+    def _build_pool(self, kb: ProbabilisticKnowledgeBase) -> SessionPool:
+        return SessionPool(
+            kb.model,
+            backend=self.config.backend,
+            cache_size=self.config.cache_size,
+            size=self.config.pool_size,
+            session_workers=self.config.session_workers,
+        )
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def count(self, endpoint: str) -> None:
+        self.counters[endpoint] = self.counters.get(endpoint, 0) + 1
+
+    @property
+    def revision_number(self) -> int:
+        return self.kb.revisions[-1].number if self.kb.revisions else 0
+
+    def fingerprint(self) -> int:
+        return self.kb.model.fingerprint()
+
+    def describe(self) -> dict:
+        """The ``GET /kb/{name}`` document: schema, size, revision."""
+        schema = self.kb.schema
+        return {
+            "name": self.name,
+            "attributes": {
+                name: list(schema.attribute(name).values)
+                for name in schema.names
+            },
+            "sample_size": self.kb.sample_size,
+            "revision": self.revision_number,
+            "fingerprint": self.fingerprint(),
+            "constraints": len(self.kb.model.cell_factors),
+            "can_update": self.kb.can_update,
+        }
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "revision": self.revision_number,
+            "updates": self.updates_served,
+            "requests": dict(self.counters),
+            "batcher": self.batcher.stats.to_dict(),
+            "pool": self.pool.stats(),
+        }
+
+    # -- evaluation ---------------------------------------------------------------
+
+    async def _in_executor(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            self._executor, fn, *args
+        )
+
+    async def _run_coalesced(self, queries: list) -> list:
+        """Micro-batcher runner: one flush on one pooled session.
+
+        The pool is captured at flush time, so a flush racing a hot-swap
+        evaluates the whole batch against a single model revision — and
+        each result carries that revision's fingerprint, not whatever
+        ``self.kb`` points at by the time the response renders.
+        Error isolation: the shared batch fast path is attempted first;
+        if any query in the batch is bad, each query is re-evaluated
+        alone so only the offender fails.  Per-query results are
+        bit-identical either way (same session, same marginal
+        arithmetic).
+        """
+        pool = self.pool
+        return await self._in_executor(
+            _evaluate_isolated, pool, list(queries)
+        )
+
+    async def query(self, text: str) -> tuple[float, int]:
+        """One coalesced single-query evaluation: (answer, fingerprint)."""
+        return await self.batcher.submit(text)
+
+    async def batch(self, queries: list) -> tuple[list[float], int]:
+        """An explicit client batch: evaluated as one unit, not coalesced.
+
+        Matches in-process ``kb.query_many`` semantics — a bad query
+        fails the whole batch with its typed error.
+        """
+        pool = self.pool
+
+        def run():
+            answers = pool.run(lambda session: session.batch(queries))
+            return answers, pool.model.fingerprint()
+
+        return await self._in_executor(run)
+
+    async def mpe(self, given: dict | None):
+        pool = self.pool
+
+        def run():
+            labels, probability = pool.run(
+                lambda session: session.most_probable(given or None)
+            )
+            return labels, probability, pool.model.fingerprint()
+
+        return await self._in_executor(run)
+
+    async def explain(self, target: dict, given: dict):
+        model = self.kb.model
+        return await self._in_executor(explain, model, target, given)
+
+    # -- hot-swap -----------------------------------------------------------------
+
+    def _apply_update(self, rows, samples):
+        """Executor side of an update: tally, clone, warm-rediscover.
+
+        Runs under the update lock, so ``self.kb`` is stable for the
+        duration even though this executes off the event loop.
+        """
+        builder = TableBuilder(self.kb.schema)
+        for record in rows or []:
+            builder.add_record(record)
+        for sample in samples or []:
+            builder.add_sample(sample)
+        if builder.total == 0:
+            raise ApiError(
+                422, "update carried no observations (rows/samples empty)"
+            )
+        if not self.kb.can_update:
+            raise ApiError(
+                422,
+                f"knowledge base {self.name!r} has no discovery audit "
+                f"trail and cannot absorb updates",
+            )
+        clone = ProbabilisticKnowledgeBase.from_dict(self.kb.to_dict())
+        revision = clone.update(builder.snapshot())
+        return clone, revision
+
+    async def update(self, rows=None, samples=None) -> dict:
+        """Absorb new observations and atomically swap the served model."""
+        async with self._update_lock:
+            clone, revision = await self._in_executor(
+                self._apply_update, rows, samples
+            )
+            # Swap on the event loop: handlers observe either the old
+            # entry state or the new one, never a mixture.
+            old_pool = self.pool
+            self.kb = clone
+            self.pool = self._build_pool(clone)
+            old_pool.retire()
+            self.updates_served += 1
+        payload = {
+            "type": "revision",
+            "kb": self.name,
+            "revision": revision.number,
+            "mode": revision.mode,
+            "sample_size": revision.sample_size,
+            "added_samples": revision.added_samples,
+            "constraints_added": len(revision.constraints_added),
+            "constraints_dropped": len(revision.constraints_dropped),
+            "fingerprint": self.fingerprint(),
+        }
+        self._notify(payload)
+        return payload
+
+    # -- subscriptions ------------------------------------------------------------
+
+    def subscribe(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        self.subscribers.add(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        self.subscribers.discard(queue)
+
+    def _notify(self, payload: dict) -> None:
+        for queue in list(self.subscribers):
+            queue.put_nowait(payload)
+
+    # -- shutdown -----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop coalescing and reap every pooled session; idempotent."""
+        self.batcher.close()
+        self.pool.retire()
+
+
+def _evaluate_isolated(pool: SessionPool, queries: list) -> list:
+    """One flush: shared batch fast path, per-query error isolation.
+
+    Returns one entry per query — ``(answer, fingerprint)`` on success,
+    the bare :class:`ReproError` on failure (the batcher maps exception
+    entries to individual future failures).
+    """
+    fingerprint = pool.model.fingerprint()
+
+    def run(session):
+        try:
+            answers = session.batch(queries)
+        except ReproError:
+            results: list = []
+            for query in queries:
+                try:
+                    results.append((session.ask(query), fingerprint))
+                except ReproError as error:
+                    results.append(error)
+            return results
+        return [(answer, fingerprint) for answer in answers]
+
+    return pool.run(run)
+
+
+class KnowledgeBaseRegistry:
+    """Named knowledge bases behind one executor; the app's data plane."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        threads = self.config.executor_threads
+        if threads is None:
+            threads = self.config.pool_size + 2
+        self.executor = ThreadPoolExecutor(
+            max_workers=threads, thread_name_prefix="repro-serve"
+        )
+        self._entries: dict[str, HostedKB] = {}
+        self.started_at = time.time()
+        self._closed = False
+
+    def add(
+        self, name: str, kb: ProbabilisticKnowledgeBase
+    ) -> HostedKB:
+        """Host a knowledge base under ``name``; rejects duplicates."""
+        if self._closed:
+            raise DataError("registry is closed")
+        if not name or "/" in name:
+            raise DataError(
+                f"knowledge base name {name!r} must be non-empty and "
+                f"contain no '/'"
+            )
+        if name in self._entries:
+            raise DataError(
+                f"a knowledge base named {name!r} is already hosted"
+            )
+        entry = HostedKB(name, kb, self.config, self.executor)
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> HostedKB:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ApiError(
+                404,
+                f"no knowledge base named {name!r} "
+                f"(hosted: {sorted(self._entries)})",
+                kind="UnknownKnowledgeBase",
+            )
+        return entry
+
+    def names(self) -> list[str]:
+        return list(self._entries)
+
+    def entries(self) -> list[HostedKB]:
+        return list(self._entries.values())
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.time() - self.started_at
+
+    def stats(self) -> dict:
+        return {
+            "uptime_s": self.uptime_seconds,
+            "kbs": {
+                name: entry.stats()
+                for name, entry in self._entries.items()
+            },
+        }
+
+    def close(self) -> None:
+        """Retire every pool and stop the executor; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for entry in self._entries.values():
+            entry.close()
+        self.executor.shutdown(wait=True)
+
+    def __enter__(self) -> "KnowledgeBaseRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"KnowledgeBaseRegistry({sorted(self._entries)})"

@@ -1,0 +1,191 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — the transport seam.
+
+The serving layer deliberately avoids a web framework: tier-1 tests must
+stay dependency-light, and the request shapes the API needs (small JSON
+bodies, keep-alive, a WebSocket upgrade) fit in a few hundred lines of
+stdlib code.  Everything HTTP-specific lives here, behind two plain data
+classes — :class:`Request` in, :class:`Response` out — so the application
+layer (:mod:`repro.serve.app`) never touches sockets and an alternative
+transport (a real framework, a unix socket, an in-process test harness)
+only has to produce and consume the same two shapes.
+
+Framing supported: request line + headers + optional ``Content-Length``
+body (no chunked uploads — the API never needs them), ``HTTP/1.1``
+keep-alive with ``Connection: close`` honored both ways, and 100-continue
+ignored as the stdlib client never sends it unprompted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.serve.errors import ApiError
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "Request",
+    "Response",
+    "json_response",
+    "read_request",
+    "render_response",
+]
+
+#: Upload cap: update payloads are rows of labelled records, and even a
+#: generous streaming batch fits well under this.  Oversized requests get
+#: a typed 413 instead of an OOM.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+#: Header-block cap (request line + all headers).
+MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    101: "Switching Protocols",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    headers: dict[str, str]  # keys lower-cased
+    body: bytes = b""
+    http_version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.http_version == "HTTP/1.0":
+            return "keep-alive" in connection
+        return "close" not in connection
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "websocket" in self.headers.get("upgrade", "").lower()
+            and "upgrade" in self.headers.get("connection", "").lower()
+        )
+
+    def json(self):
+        """Decode the body as JSON; typed 400 on garbage."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ApiError(
+                400, f"request body is not valid JSON: {error}"
+            ) from None
+
+
+@dataclass
+class Response:
+    """One HTTP response, rendered by :func:`render_response`."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+    keep_alive: bool = True
+
+
+def json_response(payload, status: int = 200) -> Response:
+    """A Response carrying a JSON document.
+
+    ``json.dumps`` round-trips Python floats exactly (shortest-repr), so
+    a served probability decodes to the bit-identical binary64 the
+    session computed — the property the conformance tests pin down.
+    """
+    return Response(
+        status=status, body=json.dumps(payload).encode("utf-8")
+    )
+
+
+async def read_request(reader) -> Request | None:
+    """Parse one request from the stream; None on a clean EOF.
+
+    Raises :class:`ApiError` on malformed framing (the connection handler
+    answers with the envelope and closes).
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except EOFError:
+        return None
+    except Exception as error:  # IncompleteReadError, LimitOverrunError
+        name = type(error).__name__
+        if name == "IncompleteReadError":
+            if not getattr(error, "partial", b""):
+                return None
+            raise ApiError(400, "truncated HTTP request") from None
+        if name == "LimitOverrunError":
+            raise ApiError(
+                413, "request header block too large"
+            ) from None
+        raise
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise ApiError(413, "request header block too large")
+    try:
+        text = header_block.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, path, version = request_line.split(" ", 2)
+    except ValueError:
+        raise ApiError(400, "malformed HTTP request line") from None
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ApiError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise ApiError(
+                400, f"bad Content-Length {length_text!r}"
+            ) from None
+        if length < 0:
+            raise ApiError(400, f"bad Content-Length {length}")
+        if length > MAX_BODY_BYTES:
+            raise ApiError(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit",
+            )
+        if length:
+            body = await reader.readexactly(length)
+    return Request(
+        method=method.upper(),
+        path=path,
+        headers=headers,
+        body=body,
+        http_version=version.strip(),
+    )
+
+
+def render_response(response: Response) -> bytes:
+    """Serialize a Response to wire bytes."""
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = dict(response.headers)
+    headers.setdefault("content-type", response.content_type)
+    headers.setdefault("content-length", str(len(response.body)))
+    headers.setdefault(
+        "connection", "keep-alive" if response.keep_alive else "close"
+    )
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1") + b"\r\n\r\n"
+    return head + response.body

@@ -1,0 +1,129 @@
+"""Minimal RFC 6455 WebSocket support: handshake + frame codec.
+
+Just enough of the protocol for the serving layer's subscription channel
+(and for the blocking client the tests and demos drive it with): the
+HTTP upgrade handshake, unfragmented text/binary frames with the 7/16/64
+bit length ladder, client-side masking, and ping/pong/close control
+frames.  Fragmented messages and extensions are not needed by either end
+and are rejected loudly rather than half-supported.
+
+The codec is split into pure functions over bytes (shared by the asyncio
+server and the synchronous client) plus one async reader, so both sides
+frame traffic with the same code.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import struct
+
+from repro.serve.errors import ApiError
+
+__all__ = [
+    "OP_BINARY",
+    "OP_CLOSE",
+    "OP_PING",
+    "OP_PONG",
+    "OP_TEXT",
+    "accept_key",
+    "encode_frame",
+    "parse_frame_header",
+    "read_frame",
+    "unmask",
+]
+
+#: RFC 6455 §1.3 handshake GUID.
+_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+#: Frame-size cap: subscription notifications are small JSON documents.
+MAX_FRAME_BYTES = 1 * 1024 * 1024
+
+
+def accept_key(client_key: str) -> str:
+    """``Sec-WebSocket-Accept`` value for a ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1(
+        (client_key.strip() + _GUID).encode("latin-1")
+    ).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def encode_frame(
+    opcode: int, payload: bytes, mask: bool = False
+) -> bytes:
+    """One final (FIN=1) frame; ``mask=True`` for client→server traffic."""
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    length = len(payload)
+    mask_bit = 0x80 if mask else 0x00
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack(">H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack(">Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = unmask(payload, key)  # XOR is its own inverse
+    return bytes(header) + payload
+
+
+def unmask(payload: bytes, key: bytes) -> bytes:
+    """XOR ``payload`` with the 4-byte mask ``key``."""
+    mask = (key * (len(payload) // 4 + 1))[: len(payload)]
+    return bytes(a ^ b for a, b in zip(payload, mask))
+
+
+def parse_frame_header(
+    first_two: bytes,
+) -> tuple[int, bool, bool, int]:
+    """``(opcode, fin, masked, length_field)`` from a frame's first bytes.
+
+    ``length_field`` is the raw 7-bit value: < 126 is the payload length
+    itself, 126/127 announce a 16/64-bit extended length.
+    """
+    if len(first_two) != 2:
+        raise ApiError(400, "truncated WebSocket frame header")
+    b0, b1 = first_two
+    fin = bool(b0 & 0x80)
+    if b0 & 0x70:
+        raise ApiError(400, "WebSocket extensions are not supported")
+    opcode = b0 & 0x0F
+    masked = bool(b1 & 0x80)
+    return opcode, fin, masked, b1 & 0x7F
+
+
+async def read_frame(reader) -> tuple[int, bytes]:
+    """Read one frame from an asyncio stream: ``(opcode, payload)``.
+
+    Raises :class:`ApiError` on protocol violations; propagates
+    ``IncompleteReadError`` when the peer vanishes mid-frame (the caller
+    treats it as a disconnect).
+    """
+    opcode, fin, masked, length_field = parse_frame_header(
+        await reader.readexactly(2)
+    )
+    if not fin:
+        raise ApiError(400, "fragmented WebSocket frames not supported")
+    if length_field == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length_field == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    else:
+        length = length_field
+    if length > MAX_FRAME_BYTES:
+        raise ApiError(413, f"WebSocket frame of {length} bytes too large")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = unmask(payload, key)
+    return opcode, payload

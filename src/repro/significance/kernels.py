@@ -40,7 +40,7 @@ engine aggregates per-stage wall-clock (scan / fit / verify) into it, and
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import combinations
 from math import log
 
@@ -150,6 +150,11 @@ class DiscoveryProfile:
     confirmed nothing significant) and a rerun's per-constraint
     re-verification tests; ``fit`` covers the solver.  Rendered by
     ``repro discover --profile``.
+
+    ``scan_paths`` records, per scanned order, which scan implementation
+    the engine chose (``"serial"`` kernel, ``"sharded"`` executor, or the
+    ``"reference"`` oracle) and the candidate-pool size that drove the
+    choice — the audit trail for the serial-vs-sharded auto-selection.
     """
 
     scan_seconds: float = 0.0
@@ -161,6 +166,12 @@ class DiscoveryProfile:
     fit_seconds: float = 0.0
     fit_calls: int = 0
     fit_sweeps: int = 0
+    scan_paths: list[dict] = field(default_factory=list)
+
+    def record_scan_path(self, order: int, path: str, cells: int) -> None:
+        self.scan_paths.append(
+            {"order": order, "path": path, "cells": cells}
+        )
 
     def add_scan(self, seconds: float, cells: int) -> None:
         self.scan_seconds += seconds

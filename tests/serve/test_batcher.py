@@ -1,0 +1,187 @@
+"""MicroBatcher contract: coalescing, cutoffs, and error isolation."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.serve.batcher import MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Recorder:
+    """An echo runner that records every flushed batch."""
+
+    def __init__(self, delay: float = 0.0):
+        self.batches: list[list] = []
+        self.delay = delay
+
+    async def __call__(self, queries):
+        self.batches.append(list(queries))
+        if self.delay:
+            await asyncio.sleep(self.delay)
+        return [f"result:{query}" for query in queries]
+
+
+class TestCoalescing:
+    def test_concurrent_submissions_share_one_flush(self):
+        runner = Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, flush_interval=0.02, max_batch=64)
+            results = await asyncio.gather(
+                batcher.submit("a"), batcher.submit("b"), batcher.submit("c")
+            )
+            return results
+
+        assert run(scenario()) == ["result:a", "result:b", "result:c"]
+        assert runner.batches == [["a", "b", "c"]]
+
+    def test_flush_window_waits_for_company(self):
+        """The first submission arms the window; the answer arrives only
+        after ``flush_interval`` (the lone-request latency cost)."""
+        runner = Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, flush_interval=0.05, max_batch=64)
+            started = time.perf_counter()
+            await batcher.submit("lonely")
+            return time.perf_counter() - started
+
+        elapsed = run(scenario())
+        assert elapsed >= 0.04
+        assert runner.batches == [["lonely"]]
+
+    def test_max_batch_flushes_without_waiting_for_the_window(self):
+        runner = Recorder()
+
+        async def scenario():
+            # A 10-second window that max_batch=2 must preempt.
+            batcher = MicroBatcher(runner, flush_interval=10.0, max_batch=2)
+            started = time.perf_counter()
+            await asyncio.gather(batcher.submit("a"), batcher.submit("b"))
+            return time.perf_counter() - started
+
+        assert run(scenario()) < 5.0
+        assert runner.batches == [["a", "b"]]
+
+    def test_zero_interval_dispatches_each_submission_alone(self):
+        runner = Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, flush_interval=0.0)
+            await batcher.submit("a")
+            await batcher.submit("b")
+            return batcher.stats
+
+        stats = run(scenario())
+        assert runner.batches == [["a"], ["b"]]
+        assert stats.flushes == 2
+        assert stats.coalesced_flushes == 0
+
+    def test_stats_track_mean_and_max_batch(self):
+        runner = Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, flush_interval=0.02)
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.submit("solo")
+            return batcher.stats.to_dict()
+
+        stats = run(scenario())
+        assert stats["submitted"] == 5
+        assert stats["flushes"] == 2
+        assert stats["coalesced_flushes"] == 1
+        assert stats["max_batch"] == 4
+        assert stats["mean_batch"] == pytest.approx(2.5)
+        assert stats["errors"] == 0
+
+
+class TestErrorIsolation:
+    def test_exception_entry_fails_only_its_own_future(self):
+        async def runner(queries):
+            return [
+                ValueError(f"bad:{query}") if query == "bad" else query
+                for query in queries
+            ]
+
+        async def scenario():
+            batcher = MicroBatcher(runner, flush_interval=0.02)
+            good, bad, also_good = await asyncio.gather(
+                batcher.submit("a"),
+                batcher.submit("bad"),
+                batcher.submit("c"),
+                return_exceptions=True,
+            )
+            return good, bad, also_good, batcher.stats
+
+        good, bad, also_good, stats = run(scenario())
+        assert good == "a"
+        assert also_good == "c"
+        assert isinstance(bad, ValueError)
+        assert stats.errors == 1
+
+    def test_runner_crash_fails_the_whole_flush(self):
+        async def runner(queries):
+            raise RuntimeError("pool died")
+
+        async def scenario():
+            batcher = MicroBatcher(runner, flush_interval=0.02)
+            return await asyncio.gather(
+                batcher.submit("a"),
+                batcher.submit("b"),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+    def test_wrong_result_count_fails_the_flush(self):
+        async def runner(queries):
+            return ["only-one"]
+
+        async def scenario():
+            batcher = MicroBatcher(runner, flush_interval=0.02)
+            return await asyncio.gather(
+                batcher.submit("a"),
+                batcher.submit("b"),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert all(isinstance(result, DataError) for result in results)
+
+
+class TestLifecycle:
+    def test_closed_batcher_rejects_submissions(self):
+        async def scenario():
+            batcher = MicroBatcher(Recorder(), flush_interval=0.02)
+            batcher.close()
+            with pytest.raises(DataError, match="closed"):
+                await batcher.submit("late")
+
+        run(scenario())
+
+    def test_drain_flushes_pending_submissions(self):
+        runner = Recorder()
+
+        async def scenario():
+            batcher = MicroBatcher(runner, flush_interval=30.0)
+            task = asyncio.ensure_future(batcher.submit("parked"))
+            await asyncio.sleep(0)  # let the submission buffer
+            assert batcher.pending == 1
+            await batcher.drain()
+            return await task
+
+        assert run(scenario()) == "result:parked"
+        assert runner.batches == [["parked"]]
+
+    def test_invalid_knobs_raise(self):
+        with pytest.raises(DataError, match="flush_interval"):
+            MicroBatcher(Recorder(), flush_interval=-0.1)
+        with pytest.raises(DataError, match="max_batch"):
+            MicroBatcher(Recorder(), max_batch=0)

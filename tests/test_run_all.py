@@ -29,7 +29,13 @@ def run_all():
 
 @pytest.fixture
 def stubbed(run_all, monkeypatch):
-    calls = {"suite": [], "discovery": [], "parallel": [], "scenarios": []}
+    calls = {
+        "suite": [],
+        "discovery": [],
+        "parallel": [],
+        "serving": [],
+        "scenarios": [],
+    }
     monkeypatch.setattr(
         run_all,
         "run_suite",
@@ -46,6 +52,12 @@ def stubbed(run_all, monkeypatch):
         "measure_parallel",
         lambda smoke: calls["parallel"].append(smoke)
         or {"workers": 4, "cpus": 4, "scan_speedup_cold": 2.5},
+    )
+    monkeypatch.setattr(
+        run_all,
+        "measure_serving",
+        lambda smoke: calls["serving"].append(smoke)
+        or {"clients": 4, "throughput_ratio": 3.0},
     )
     monkeypatch.setattr(
         run_all,
@@ -115,6 +127,10 @@ class TestTrajectoryRecord:
             "workers": 4,
             "cpus": 4,
             "scan_speedup_cold": 2.5,
+        }
+        assert record["serving"] == {
+            "clients": 4,
+            "throughput_ratio": 3.0,
         }
         assert record["scenarios"] == [
             {"scenario": "independence", "passed": True}
