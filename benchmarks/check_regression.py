@@ -5,10 +5,18 @@ Usage::
 
     python benchmarks/run_all.py --json candidate.json --smoke --skip-suite
     python benchmarks/check_regression.py \
-        --baseline BENCH_discovery.json --candidate candidate.json \
+        --registry runs.db --candidate candidate.json \
         --output perf-regression-diff.json
+    python benchmarks/check_regression.py \
+        --baseline BENCH_discovery.json --candidate candidate.json  # legacy
 
-Checks, against the committed ``BENCH_discovery.json`` trajectory:
+Baselines come from a :class:`repro.store.RunRegistry` (``--registry``):
+every ``benchmark`` run recorded with the candidate's ``smoke`` flag.
+``--baseline FILE`` is the legacy flat-file path, kept as a thin
+compatibility shim — the file is imported into an in-memory registry and
+the *same* query answers, so both paths always reach the same verdict.
+
+Checks, against the baseline trajectory records:
 
 - **tracked speedup ratios** (vectorized-scan speedup, sharded-scan and
   parallel-query speedups, multi-client serving throughput): fail when
@@ -35,6 +43,8 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Dotted paths of the speedup ratios the gate tracks.  ``cpu_bound``
 #: marks ratios that only mean something when the recording machine had
@@ -159,12 +169,42 @@ def compare_scenarios(
     return rows
 
 
+def baseline_registry(args):
+    """The run registry that answers the baseline query.
+
+    ``--registry`` opens it directly.  ``--baseline FILE`` is the legacy
+    flat-file path: the file is imported into an in-memory registry so
+    both paths run the identical ``baseline_records(smoke)`` query — the
+    shim cannot drift from the registry-backed verdict.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.store import RunRegistry
+
+    if args.registry:
+        return RunRegistry(args.registry)
+    print(
+        "note: --baseline FILE is deprecated; import the trajectory with "
+        "'repro runs import' and pass --registry instead",
+        file=sys.stderr,
+    )
+    registry = RunRegistry(":memory:")
+    registry.import_trajectory(args.baseline)
+    return registry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--baseline",
-        required=True,
-        help="committed trajectory file (BENCH_discovery.json)",
+        help=(
+            "legacy: committed trajectory file (BENCH_discovery.json); "
+            "imported into an in-memory run registry"
+        ),
+    )
+    parser.add_argument(
+        "--registry",
+        metavar="PATH",
+        help="run registry (SQLite) holding the baseline benchmark runs",
     )
     parser.add_argument(
         "--candidate",
@@ -182,17 +222,23 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional speedup degradation (default 0.30)",
     )
     args = parser.parse_args(argv)
+    if bool(args.baseline) == bool(args.registry):
+        parser.error("pass exactly one of --baseline FILE or --registry PATH")
 
     candidate = read_records(Path(args.candidate))[-1]
     smoke = candidate.get("smoke", False)
-    # Only same-mode records are comparable; with no matching baseline
-    # the ratio rows report "no comparable baseline" rather than judging
+    # Only same-mode records are comparable: baseline_records(smoke)
+    # returns same-flag benchmark runs, so with no matching baseline the
+    # ratio rows report "no comparable baseline" rather than judging
     # toy-size timings against full-size ones (or vice versa).
-    baseline = [
-        record
-        for record in read_records(Path(args.baseline))
-        if record.get("smoke", False) == smoke
-    ]
+    with baseline_registry(args) as registry:
+        baseline = registry.baseline_records(smoke)
+    if not baseline and args.registry:
+        print(
+            f"warning: {args.registry} holds no smoke={smoke} benchmark "
+            f"runs; every ratio will report 'no comparable baseline'",
+            file=sys.stderr,
+        )
 
     ratios = compare_ratios(baseline, candidate, args.tolerance)
     scenarios = compare_scenarios(baseline, candidate)

@@ -294,7 +294,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the pytest benchmark suite, only emit metrics",
     )
+    parser.add_argument(
+        "--registry",
+        metavar="PATH",
+        help=(
+            "also record the trajectory record in this run registry "
+            "(SQLite; created if missing) under a content-derived run_id "
+            "— the source check_regression.py --registry compares against"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.registry and args.json is None:
+        parser.error("--registry requires --json (it records the metrics)")
 
     status = 0
     if not args.skip_suite:
@@ -324,6 +335,25 @@ def main(argv: list[str] | None = None) -> int:
         }
         path = Path(args.json)
         append_trajectory(path, record)
+        if args.registry:
+            from repro.store import RunRegistry, config_hash, current_git_sha
+
+            with RunRegistry(args.registry) as registry:
+                run = registry.record(
+                    kind="benchmark",
+                    metrics=record,
+                    smoke=args.smoke,
+                    cpus=parallel["cpus"],
+                    config_hash=config_hash(
+                        {"suite": "run_all", "smoke": args.smoke}
+                    ),
+                    git_sha=current_git_sha(),
+                    created_at=record["timestamp"],
+                )
+            print(
+                f"run {run.run_id} recorded in {args.registry}",
+                file=sys.stderr,
+            )
         failed = [
             f"{entry['scenario']}: {failure}"
             for entry in scenarios

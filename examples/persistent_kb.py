@@ -1,0 +1,93 @@
+"""Persistent knowledge base: one store, two processes.
+
+The store makes a knowledge base outlive the process that built it.
+This example acquires a KB and persists it to a SQLite store, then
+spawns a *separate* Python process that loads the stored KB, folds in a
+new batch of survey data, and persists the new revision.  Back in the
+parent process, the store shows the full revision history — including
+the update made by the child — and the reloaded KB is byte-identical in
+canonical JSON to what the child saved.
+
+Run with::
+
+    python examples/persistent_kb.py
+"""
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import ProbabilisticKnowledgeBase, paper_table
+from repro.core.serialization import canonical_json, content_hash
+from repro.data.dataset import Dataset
+from repro.store import KBStore
+
+
+def acquisition_process(store_path: Path) -> None:
+    print("== Process 1: acquisition ==")
+    kb = ProbabilisticKnowledgeBase.from_data(paper_table())
+    with KBStore(store_path) as store:
+        sha = store.save("survey", kb)
+    print(f"stored 'survey' in {store_path.name} (artifact {sha[:12]})")
+    print(f"posterior before update: "
+          f"P(CANCER=yes | smoker) = "
+          f"{kb.probability({'CANCER': 'yes'}, {'SMOKING': 'smoker'}):.4f}\n")
+
+
+def update_process(store_path: Path) -> None:
+    """Runs in a child interpreter: load → update → save."""
+    table = paper_table()
+    rng = np.random.default_rng(7)
+    with KBStore(store_path) as store:
+        kb = store.load("survey")
+        delta = Dataset.from_joint(kb.schema, table.probabilities(), 500, rng)
+        kb.update(delta)
+        sha = store.save("survey", kb)
+    print(f"child process: updated 'survey' to revision "
+          f"{kb.revisions[-1].number} (artifact {sha[:12]})")
+
+
+def consultation_process(store_path: Path) -> None:
+    print("\n== Process 3: consultation ==")
+    with KBStore(store_path) as store:
+        kb = store.load("survey")
+        print(f"revision history of 'survey' in {store_path.name}:")
+        for row in store.history("survey"):
+            captured = row.artifact_sha[:12] if row.artifact_sha else "-"
+            print(f"  rev {row.number}  mode={row.mode:<8} "
+                  f"N={row.sample_size:<5} artifact={captured}")
+        print(store.diff("survey", 0, kb.revisions[-1].number).describe())
+
+    # Reloading reproduces the child's state exactly, bit for bit.
+    document = kb.to_dict()
+    print(f"\nreloaded at revision {kb.revisions[-1].number}, "
+          f"content address {content_hash(document)[:12]}")
+    print(f"canonical JSON size: {len(canonical_json(document))} bytes")
+    print(f"posterior after update:  "
+          f"P(CANCER=yes | smoker) = "
+          f"{kb.probability({'CANCER': 'yes'}, {'SMOKING': 'smoker'}):.4f}")
+
+
+def main() -> None:
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        update_process(Path(sys.argv[2]))
+        return
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "kb.db"
+        acquisition_process(store_path)
+
+        print("== Process 2: update (separate interpreter) ==")
+        subprocess.run(
+            [sys.executable, __file__, "--child", str(store_path)],
+            check=True,
+        )
+
+        consultation_process(store_path)
+
+
+if __name__ == "__main__":
+    main()

@@ -85,6 +85,7 @@ from repro.scenarios import (
     scenario_names,
 )
 from repro.significance.kernels import DiscoveryProfile, OrderScanKernel
+from repro.store import KBDiff, KBStore, RunRegistry
 from repro.significance.mml import (
     MMLPriors,
     evaluate_cell,
@@ -112,6 +113,8 @@ __all__ = [
     "EliminationBackend",
     "Estimator",
     "InferenceBackend",
+    "KBDiff",
+    "KBStore",
     "LiveKnowledgeBase",
     "MMLPriors",
     "MaxEntModel",
@@ -128,6 +131,7 @@ __all__ = [
     "RuleEngine",
     "RuleGenerator",
     "RuleSet",
+    "RunRegistry",
     "Scenario",
     "ScenarioOutcome",
     "Schema",

@@ -21,6 +21,13 @@ Usage::
     repro scenarios run --smoke --workers 2     # parallel-equivalence pass
     repro serve                                 # serve the paper KB over HTTP
     repro serve --kb prod=kb.json --port 8741   # serve saved knowledge bases
+    repro discover --store kb.db --name prod    # fit into the durable store
+    repro update --store kb.db --name prod --csv delta.csv
+    repro history prod --store kb.db            # list persisted revisions
+    repro diff prod 0 2 --store kb.db           # diff two revisions
+    repro serve --store kb.db                   # serve + persist every update
+    repro runs import BENCH_discovery.json --registry runs.db
+    repro runs list --registry runs.db          # recorded benchmark/scenario runs
 """
 
 from __future__ import annotations
@@ -94,13 +101,27 @@ def main(argv: list[str] | None = None) -> int:
             "serial; results are bit-identical either way)"
         ),
     )
+    discover_parser.add_argument(
+        "--store",
+        help=(
+            "persist the fitted knowledge base into this durable store "
+            "(SQLite; created if missing) with revision history"
+        ),
+    )
+    discover_parser.add_argument(
+        "--name",
+        help=(
+            "name in the store (with --store; default: the CSV stem, or "
+            "'paper' for the paper's data)"
+        ),
+    )
 
     update_parser = subparsers.add_parser(
         "update",
         help="absorb new data into a saved knowledge base (warm-started)",
     )
     update_parser.add_argument(
-        "--kb", required=True, help="saved knowledge-base JSON to update"
+        "--kb", help="saved knowledge-base JSON to update"
     )
     update_parser.add_argument(
         "--csv", required=True, help="CSV dataset with the new observations"
@@ -108,6 +129,92 @@ def main(argv: list[str] | None = None) -> int:
     update_parser.add_argument(
         "--save",
         help="where to write the updated knowledge base (default: --kb)",
+    )
+    update_parser.add_argument(
+        "--store",
+        help=(
+            "durable store holding the knowledge base (alternative to "
+            "--kb); the new revision is persisted back with its artifact"
+        ),
+    )
+    update_parser.add_argument(
+        "--name",
+        help="name in the store (with --store; default: the only stored KB)",
+    )
+
+    history_parser = subparsers.add_parser(
+        "history",
+        help="list the persisted revision history of a stored knowledge base",
+    )
+    history_parser.add_argument("name", help="knowledge-base name in the store")
+    history_parser.add_argument(
+        "--store", required=True, help="durable store path (SQLite)"
+    )
+    history_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the revision rows as JSON instead of a table",
+    )
+
+    diff_parser = subparsers.add_parser(
+        "diff",
+        help="diff adopted constraints between two persisted revisions",
+    )
+    diff_parser.add_argument("name", help="knowledge-base name in the store")
+    diff_parser.add_argument("revision_a", type=int, help="older revision")
+    diff_parser.add_argument("revision_b", type=int, help="newer revision")
+    diff_parser.add_argument(
+        "--store", required=True, help="durable store path (SQLite)"
+    )
+
+    runs_parser = subparsers.add_parser(
+        "runs",
+        help="inspect or populate the benchmark/scenario run registry",
+    )
+    runs_sub = runs_parser.add_subparsers(dest="action", required=True)
+    runs_list = runs_sub.add_parser(
+        "list", help="show recorded runs (id, kind, when, cpus, smoke)"
+    )
+    runs_list.add_argument(
+        "--registry", required=True, help="run-registry path (SQLite)"
+    )
+    runs_list.add_argument(
+        "--kind", help="only runs of this kind (benchmark, scenario)"
+    )
+    runs_list.add_argument(
+        "--smoke",
+        action="store_true",
+        help="only smoke-mode runs",
+    )
+    runs_list.add_argument(
+        "--full",
+        action="store_true",
+        help="only full-size runs",
+    )
+    runs_list.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the run records as JSON instead of a table",
+    )
+    runs_import = runs_sub.add_parser(
+        "import",
+        help=(
+            "one-shot import of a flat BENCH_discovery.json trajectory "
+            "into the registry (idempotent: run_ids derive from content)"
+        ),
+    )
+    runs_import.add_argument(
+        "trajectory", help="flat trajectory JSON file to import"
+    )
+    runs_import.add_argument(
+        "--registry", required=True, help="run-registry path (SQLite)"
+    )
+    runs_show = runs_sub.add_parser(
+        "show", help="print one run's full metrics document as JSON"
+    )
+    runs_show.add_argument("run_id", help="run id (see 'repro runs list')")
+    runs_show.add_argument(
+        "--registry", required=True, help="run-registry path (SQLite)"
     )
 
     rules_parser = subparsers.add_parser(
@@ -240,6 +347,14 @@ def main(argv: list[str] | None = None) -> int:
             "(default 1 = serial; conformance metrics are bit-identical)"
         ),
     )
+    scenarios_run.add_argument(
+        "--registry",
+        metavar="PATH",
+        help=(
+            "record every scenario outcome in this run registry "
+            "(SQLite; created if missing) under a content-derived run_id"
+        ),
+    )
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -305,6 +420,14 @@ def main(argv: list[str] | None = None) -> int:
             "(default 1 = in-process)"
         ),
     )
+    serve_parser.add_argument(
+        "--store",
+        help=(
+            "durable store (SQLite): host every stored knowledge base at "
+            "its latest revision and persist hosted updates back, so a "
+            "restarted server resumes where the previous one stopped"
+        ),
+    )
 
     args = parser.parse_args(argv)
     if args.command == "figure1":
@@ -324,16 +447,31 @@ def main(argv: list[str] | None = None) -> int:
         _rows, text = harness.reproduce_appendix_b()
         print(text)
     elif args.command == "discover":
+        if args.name and not args.store:
+            print("error: --name requires --store", file=sys.stderr)
+            return 2
         table = _load_table(args.csv)
         config = DiscoveryConfig(
             max_order=args.max_order, max_workers=args.workers
         )
-        if args.save:
+        if args.save or args.store:
             kb = ProbabilisticKnowledgeBase.from_data(table, config)
             result = kb.discovery
             print(result.summary())
-            kb.save(args.save)
-            print(f"knowledge base saved to {args.save}")
+            if args.save:
+                kb.save(args.save)
+                print(f"knowledge base saved to {args.save}")
+            if args.store:
+                from repro.store import KBStore
+
+                name = args.name or _default_store_name(args.csv)
+                with KBStore(args.store) as store:
+                    sha = store.save(name, kb)
+                print(
+                    f"stored as {name!r} in {args.store} "
+                    f"({len(kb.revisions)} update revisions, "
+                    f"artifact {sha[:12]})"
+                )
         else:
             result = discover(table, config)
             print(result.summary())
@@ -343,6 +481,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n{_render_profile(result)}", file=sys.stderr)
     elif args.command == "update":
         return _run_update(args)
+    elif args.command == "history":
+        return _run_store_command(_run_history, args)
+    elif args.command == "diff":
+        return _run_store_command(_run_diff, args)
+    elif args.command == "runs":
+        return _run_store_command(_run_runs, args)
     elif args.command == "rules":
         table = _load_table(args.csv)
         kb = ProbabilisticKnowledgeBase.from_data(table)
@@ -422,7 +566,14 @@ def _run_serve_inner(args) -> int:
         kbs["data"] = ProbabilisticKnowledgeBase.from_data(
             read_dataset_csv(args.csv).to_contingency()
         )
-    if not kbs:
+    store = None
+    if args.store:
+        from repro.store import KBStore
+
+        store = KBStore(args.store)
+    # With a store, "nothing to host" means "host what is stored" —
+    # only a storeless server defaults to the paper's knowledge base.
+    if not kbs and (store is None or not store.names()):
         kbs["paper"] = ProbabilisticKnowledgeBase.from_data(paper_table())
 
     config = ServeConfig(
@@ -432,15 +583,19 @@ def _run_serve_inner(args) -> int:
         backend=args.backend,
         session_workers=args.workers,
     )
-    server = ReproServer(host=args.host, port=args.port, config=config)
+    server = ReproServer(
+        host=args.host, port=args.port, config=config, store=store
+    )
     for name, kb in kbs.items():
         server.add(name, kb)
+    if store is not None:
+        server.registry.add_all_from_store()
 
     async def run() -> None:
         await server.start()
         print(
-            f"serving {sorted(kbs)} on http://{server.host}:{server.port}"
-            f" (Ctrl-C to stop)",
+            f"serving {sorted(server.registry.names())} on "
+            f"http://{server.host}:{server.port} (Ctrl-C to stop)",
             file=sys.stderr,
         )
         try:
@@ -468,10 +623,26 @@ def _run_update(args) -> int:
 
 
 def _run_update_inner(args) -> int:
-    kb = ProbabilisticKnowledgeBase.load(args.kb)
+    if bool(args.kb) == bool(args.store):
+        print(
+            "error: pass exactly one of --kb FILE or --store PATH",
+            file=sys.stderr,
+        )
+        return 2
+    store = None
+    if args.store:
+        from repro.store import KBStore
+
+        store = KBStore(args.store)
+        name = args.name or _only_stored_name(store)
+        kb = store.load(name)
+        source = f"{name!r} in {args.store}"
+    else:
+        kb = ProbabilisticKnowledgeBase.load(args.kb)
+        source = args.kb
     if not kb.can_update:
         print(
-            f"error: {args.kb} has no discovery audit trail (saved by an "
+            f"error: {source} has no discovery audit trail (saved by an "
             f"older version?); refit with 'repro discover --save' first",
             file=sys.stderr,
         )
@@ -496,9 +667,194 @@ def _run_update_inner(args) -> int:
             for n, v in zip(names, values)
         )
         print(f"  - constraint P({labels})")
+    if store is not None:
+        sha = store.save(name, kb)
+        store.close()
+        print(
+            f"revision {revision.number} persisted to {source} "
+            f"(artifact {sha[:12]})"
+        )
+        if args.save:
+            kb.save(args.save)
+            print(f"updated knowledge base also saved to {args.save}")
+        return 0
     destination = args.save or args.kb
     kb.save(destination)
     print(f"updated knowledge base saved to {destination}")
+    return 0
+
+
+def _only_stored_name(store) -> str:
+    """--store without --name: unambiguous only for a single-KB store."""
+    from repro.exceptions import DataError
+
+    names = store.names()
+    if len(names) != 1:
+        raise DataError(
+            f"--name is required: the store holds {len(names)} knowledge "
+            f"bases ({names})"
+        )
+    return names[0]
+
+
+def _default_store_name(csv_path: str | None) -> str:
+    from pathlib import Path
+
+    return Path(csv_path).stem if csv_path else "paper"
+
+
+def _run_store_command(inner, args) -> int:
+    import json
+
+    from repro.exceptions import ReproError
+
+    try:
+        return inner(args)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_history(args) -> int:
+    import json
+
+    from repro.eval.tables import format_table
+    from repro.store import KBStore
+
+    with KBStore(args.store) as store:
+        record = store.describe(args.name)
+        rows = store.history(args.name)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "number": row.number,
+                        "mode": row.mode,
+                        "sample_size": row.sample_size,
+                        "added_samples": row.added_samples,
+                        "constraints_added": len(row.constraints_added),
+                        "constraints_dropped": len(row.constraints_dropped),
+                        "artifact": row.artifact_sha,
+                        "created_at": row.created_at,
+                    }
+                    for row in rows
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{args.name}: {len(rows)} update revisions, latest artifact "
+        f"{record.latest_artifact[:12]} (updated {record.updated_at})"
+    )
+    if rows:
+        headers = ["rev", "mode", "N", "added", "+c", "-c", "artifact"]
+        print(
+            format_table(
+                headers,
+                [
+                    [
+                        row.number,
+                        row.mode,
+                        row.sample_size,
+                        row.added_samples,
+                        len(row.constraints_added),
+                        len(row.constraints_dropped),
+                        (
+                            row.artifact_sha[:12]
+                            if row.artifact_sha
+                            else "(not captured)"
+                        ),
+                    ]
+                    for row in rows
+                ],
+            )
+        )
+    return 0
+
+
+def _run_diff(args) -> int:
+    from repro.store import KBStore
+
+    with KBStore(args.store) as store:
+        diff = store.diff(args.name, args.revision_a, args.revision_b)
+    print(diff.describe())
+    return 0
+
+
+def _run_runs(args) -> int:
+    import json
+
+    from repro.eval.tables import format_table
+    from repro.store import RunRegistry
+
+    with RunRegistry(args.registry) as registry:
+        if args.action == "import":
+            added = registry.import_trajectory(args.trajectory)
+            total = len(registry.runs())
+            print(
+                f"imported {added} new runs from {args.trajectory} "
+                f"({total} total in {args.registry})"
+            )
+            return 0
+        if args.action == "show":
+            record = registry.get(args.run_id)
+            print(
+                json.dumps(
+                    {
+                        "run_id": record.run_id,
+                        "kind": record.kind,
+                        "created_at": record.created_at,
+                        "smoke": record.smoke,
+                        "cpus": record.cpus,
+                        "config_hash": record.config_hash,
+                        "git_sha": record.git_sha,
+                        "metrics": record.metrics,
+                    },
+                    indent=2,
+                )
+            )
+            return 0
+        smoke = True if args.smoke else (False if args.full else None)
+        records = registry.runs(kind=args.kind, smoke=smoke)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "run_id": record.run_id,
+                        "kind": record.kind,
+                        "created_at": record.created_at,
+                        "smoke": record.smoke,
+                        "cpus": record.cpus,
+                        "config_hash": record.config_hash,
+                        "git_sha": record.git_sha,
+                    }
+                    for record in records
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    headers = ["run_id", "kind", "created_at", "smoke", "cpus", "git"]
+    print(
+        format_table(
+            headers,
+            [
+                [
+                    record.run_id,
+                    record.kind,
+                    record.created_at,
+                    "yes" if record.smoke else "no",
+                    record.cpus,
+                    record.git_sha[:10] if record.git_sha else "-",
+                ]
+                for record in records
+            ],
+        )
+    )
+    print(f"{len(records)} runs")
     return 0
 
 
@@ -621,6 +977,17 @@ def _run_scenarios_inner(args) -> int:
         include_baselines=not args.no_baselines,
         workers=args.workers,
     )
+    if args.registry:
+        from repro.scenarios import record_outcomes
+        from repro.store import RunRegistry
+
+        with RunRegistry(args.registry) as registry:
+            records = record_outcomes(registry, outcomes)
+        print(
+            f"recorded {len(records)} scenario runs in {args.registry}: "
+            + ", ".join(record.run_id for record in records),
+            file=sys.stderr,
+        )
     if args.json is not None:
         payload = json.dumps(
             [outcome_to_dict(outcome) for outcome in outcomes], indent=2

@@ -16,7 +16,10 @@ the whole loop:
   the model fingerprint — no session rebuild, no cold caches beyond the
   entries the update genuinely invalidated;
 - every refit appends a :class:`~repro.core.knowledge_base.Revision` to
-  the history.
+  the history — and, when a :class:`~repro.store.KBStore` is bound via
+  :meth:`LiveKnowledgeBase.bind_store`, persists the new revision (with
+  its content-addressed model artifact) durably before returning, so a
+  crashed process resumes at the last persisted revision.
 
 Quickstart::
 
@@ -98,6 +101,8 @@ class LiveKnowledgeBase:
         self.policy = policy or UpdatePolicy()
         self._pending = TableBuilder(kb.schema)
         self._since_probe = 0
+        self._store = None
+        self._store_name: str | None = None
 
     @classmethod
     def from_data(
@@ -110,6 +115,40 @@ class LiveKnowledgeBase:
         return cls(
             ProbabilisticKnowledgeBase.from_data(data, config), policy=policy
         )
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        name: str,
+        policy: UpdatePolicy | None = None,
+    ) -> "LiveKnowledgeBase":
+        """Resume a live loop from a stored knowledge base's latest revision.
+
+        The store stays bound: every subsequent refit persists its
+        revision through ``store.save(name, ...)``.
+        """
+        live = cls(store.load(name), policy=policy)
+        live.bind_store(store, name, save_now=False)
+        return live
+
+    # -- persistence --------------------------------------------------------------
+
+    def bind_store(self, store, name: str, save_now: bool = True) -> None:
+        """Persist every future refit to ``store`` under ``name``.
+
+        With ``save_now`` (the default) the current state is persisted
+        immediately, so the store holds revision history from this
+        moment even if no refit ever triggers.
+        """
+        self._store = store
+        self._store_name = name
+        if save_now:
+            self._persist()
+
+    def _persist(self) -> None:
+        if self._store is not None:
+            self._store.save(self._store_name, self.kb)
 
     # -- state --------------------------------------------------------------------
 
@@ -178,11 +217,17 @@ class LiveKnowledgeBase:
         return self._maybe_update()
 
     def flush(self) -> Revision | None:
-        """Force a refit of everything pending; None if nothing pending."""
+        """Force a refit of everything pending; None if nothing pending.
+
+        With a bound store the new revision is persisted before this
+        returns — the durable history never lags the served model by
+        more than the still-pending window.
+        """
         if self._pending.total == 0:
             return None
         revision = self.kb.ingest(self._pending)
         self._since_probe = 0
+        self._persist()
         return revision
 
     # -- policy -------------------------------------------------------------------

@@ -14,6 +14,7 @@ from repro.scenarios.runner import (
     BaselineScore,
     ScenarioOutcome,
     outcome_to_dict,
+    record_outcomes,
     run_matrix,
     run_scenario,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "all_scenarios",
     "get_scenario",
     "outcome_to_dict",
+    "record_outcomes",
     "register",
     "run_matrix",
     "run_scenario",

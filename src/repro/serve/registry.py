@@ -31,6 +31,16 @@ A knowledge base updated *in place* from outside the server (e.g. an
 embedded :class:`~repro.lifecycle.LiveKnowledgeBase` absorbing a stream)
 still propagates: pooled sessions detect the model fingerprint change
 exactly as in-process sessions do.
+
+Durability
+----------
+With a :class:`~repro.store.KBStore` attached, the registry persists
+every hosted knowledge base on :meth:`KnowledgeBaseRegistry.add` and
+every ``POST /update`` revision *before* the hot-swap and subscriber
+notification — a notified subscriber can always read the revision it
+was told about from the store, and a restarted server
+(:meth:`KnowledgeBaseRegistry.add_from_store`) resumes at the latest
+persisted revision with its full history.
 """
 
 from __future__ import annotations
@@ -116,11 +126,13 @@ class HostedKB:
         kb: ProbabilisticKnowledgeBase,
         config: ServeConfig,
         executor: ThreadPoolExecutor,
+        store=None,
     ):
         self.name = name
         self.kb = kb
         self.config = config
         self._executor = executor
+        self._store = store
         self.pool = self._build_pool(kb)
         self.batcher = MicroBatcher(
             self._run_coalesced,
@@ -265,11 +277,21 @@ class HostedKB:
         return clone, revision
 
     async def update(self, rows=None, samples=None) -> dict:
-        """Absorb new observations and atomically swap the served model."""
+        """Absorb new observations and atomically swap the served model.
+
+        With a store attached, the new revision is persisted *before*
+        the swap and the subscriber notification: if persistence fails
+        the request errors and the served model is unchanged, and a
+        subscriber told about revision N can always load revision N.
+        """
         async with self._update_lock:
             clone, revision = await self._in_executor(
                 self._apply_update, rows, samples
             )
+            if self._store is not None:
+                await self._in_executor(
+                    self._store.save, self.name, clone
+                )
             # Swap on the event loop: handlers observe either the old
             # entry state or the new one, never a mixture.
             old_pool = self.pool
@@ -339,10 +361,18 @@ def _evaluate_isolated(pool: SessionPool, queries: list) -> list:
 
 
 class KnowledgeBaseRegistry:
-    """Named knowledge bases behind one executor; the app's data plane."""
+    """Named knowledge bases behind one executor; the app's data plane.
 
-    def __init__(self, config: ServeConfig | None = None):
+    ``store`` (a :class:`~repro.store.KBStore`) makes the registry
+    durable: added knowledge bases are persisted immediately, hosted
+    updates write their revision through the store before serving it,
+    and :meth:`add_from_store` / :meth:`add_all_from_store` resume
+    knowledge bases at their latest persisted revision after a restart.
+    """
+
+    def __init__(self, config: ServeConfig | None = None, store=None):
         self.config = config or ServeConfig()
+        self.store = store
         threads = self.config.executor_threads
         if threads is None:
             threads = self.config.pool_size + 2
@@ -356,7 +386,12 @@ class KnowledgeBaseRegistry:
     def add(
         self, name: str, kb: ProbabilisticKnowledgeBase
     ) -> HostedKB:
-        """Host a knowledge base under ``name``; rejects duplicates."""
+        """Host a knowledge base under ``name``; rejects duplicates.
+
+        With a store attached the knowledge base is persisted under
+        ``name`` before it starts serving (a no-op when it was just
+        loaded from that store).
+        """
         if self._closed:
             raise DataError("registry is closed")
         if not name or "/" in name:
@@ -368,9 +403,35 @@ class KnowledgeBaseRegistry:
             raise DataError(
                 f"a knowledge base named {name!r} is already hosted"
             )
-        entry = HostedKB(name, kb, self.config, self.executor)
+        if self.store is not None:
+            self.store.save(name, kb)
+        entry = HostedKB(
+            name, kb, self.config, self.executor, store=self.store
+        )
         self._entries[name] = entry
         return entry
+
+    def add_from_store(self, name: str) -> HostedKB:
+        """Host a stored knowledge base at its latest persisted revision."""
+        if self.store is None:
+            raise DataError(
+                "this registry has no store attached; pass store= to "
+                "KnowledgeBaseRegistry (or --store to 'repro serve')"
+            )
+        return self.add(name, self.store.load(name))
+
+    def add_all_from_store(self) -> list[HostedKB]:
+        """Host every stored knowledge base not already hosted."""
+        if self.store is None:
+            raise DataError(
+                "this registry has no store attached; pass store= to "
+                "KnowledgeBaseRegistry (or --store to 'repro serve')"
+            )
+        return [
+            self.add_from_store(name)
+            for name in self.store.names()
+            if name not in self._entries
+        ]
 
     def get(self, name: str) -> HostedKB:
         entry = self._entries.get(name)

@@ -56,10 +56,13 @@ class ReproServer:
         port: int = 0,
         config: ServeConfig | None = None,
         registry: KnowledgeBaseRegistry | None = None,
+        store=None,
     ):
         self.host = host
         self.port = port  # 0 = ephemeral; replaced with the bound port
-        self.registry = registry or KnowledgeBaseRegistry(config)
+        self.registry = registry or KnowledgeBaseRegistry(
+            config, store=store
+        )
         self.app = ServeApp(self.registry)
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -305,6 +308,7 @@ def serve_in_thread(
     config: ServeConfig | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    store=None,
 ) -> ServerHandle:
     """Start a server on a daemon event-loop thread; returns its handle.
 
@@ -314,6 +318,12 @@ def serve_in_thread(
         with serve_in_thread({"paper": kb}) as handle:
             client = ServeClient(handle.host, handle.port)
             ...
+
+    With ``store`` (a :class:`~repro.store.KBStore`) the server is
+    durable: the ``kbs`` passed in are persisted, every stored knowledge
+    base not in ``kbs`` is hosted at its latest persisted revision, and
+    hosted updates write through the store — so a server restarted on
+    the same store resumes exactly where the previous one stopped.
     """
     started = threading.Event()
     box: dict = {}
@@ -321,10 +331,14 @@ def serve_in_thread(
     def run() -> None:
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
-        server = ReproServer(host=host, port=port, config=config)
+        server = ReproServer(
+            host=host, port=port, config=config, store=store
+        )
         try:
             for name, kb in kbs.items():
                 server.add(name, kb)
+            if store is not None:
+                server.registry.add_all_from_store()
             loop.run_until_complete(server.start())
         except BaseException as error:  # surface startup failures
             box["error"] = error

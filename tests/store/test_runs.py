@@ -1,0 +1,163 @@
+"""Tests for the run registry: recording, importing, baseline queries."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.discovery.config import DiscoveryConfig
+from repro.exceptions import DataError
+from repro.store import RunRegistry, config_hash, current_git_sha
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+COMMITTED_TRAJECTORY = REPO_ROOT / "BENCH_discovery.json"
+
+
+@pytest.fixture
+def registry(tmp_path) -> RunRegistry:
+    with RunRegistry(tmp_path / "runs.db") as registry:
+        yield registry
+
+
+class TestRecording:
+    def test_record_and_get(self, registry):
+        record = registry.record(
+            kind="benchmark",
+            metrics={"speedup": 4.5},
+            smoke=True,
+            cpus=4,
+            config_hash="abc",
+            git_sha="deadbeef",
+        )
+        assert len(record.run_id) == 16
+        fetched = registry.get(record.run_id)
+        assert fetched == record
+        assert fetched.metrics == {"speedup": 4.5}
+
+    def test_identical_content_collapses_to_one_run(self, registry):
+        kwargs = dict(
+            kind="benchmark",
+            metrics={"speedup": 4.5},
+            smoke=True,
+            cpus=4,
+            created_at="2026-01-01T00:00:00Z",
+        )
+        first = registry.record(**kwargs)
+        second = registry.record(**kwargs)
+        assert first.run_id == second.run_id
+        assert len(registry.runs()) == 1
+
+    def test_any_content_difference_yields_a_fresh_id(self, registry):
+        base = dict(
+            kind="benchmark",
+            metrics={"speedup": 4.5},
+            smoke=True,
+            cpus=4,
+            created_at="2026-01-01T00:00:00Z",
+        )
+        registry.record(**base)
+        registry.record(**{**base, "metrics": {"speedup": 4.6}})
+        assert len(registry.runs()) == 2
+
+    def test_kind_and_smoke_filters(self, registry):
+        registry.record(kind="benchmark", metrics={}, smoke=True, cpus=1)
+        registry.record(kind="benchmark", metrics={}, smoke=False, cpus=1)
+        registry.record(kind="scenario", metrics={}, smoke=True, cpus=1)
+        assert len(registry.runs()) == 3
+        assert len(registry.runs(kind="benchmark")) == 2
+        assert len(registry.runs(smoke=True)) == 2
+        assert len(registry.runs(kind="benchmark", smoke=False)) == 1
+
+    def test_unknown_run_id_fails(self, registry):
+        with pytest.raises(DataError, match="no run"):
+            registry.get("0" * 16)
+
+    def test_non_dict_metrics_rejected(self, registry):
+        with pytest.raises(DataError, match="metrics must be a dict"):
+            registry.record(
+                kind="benchmark", metrics=[1, 2], smoke=True, cpus=1
+            )
+
+
+class TestImporter:
+    def test_committed_trajectory_imports_and_reimports_idempotently(
+        self, registry
+    ):
+        added = registry.import_trajectory(COMMITTED_TRAJECTORY)
+        records = json.loads(COMMITTED_TRAJECTORY.read_text())
+        assert added == len(records)
+        assert registry.import_trajectory(COMMITTED_TRAJECTORY) == 0
+        assert len(registry.runs(kind="benchmark")) == len(records)
+
+    def test_imported_runs_keep_their_timestamps_and_cpus(self, registry):
+        registry.import_trajectory(COMMITTED_TRAJECTORY)
+        records = json.loads(COMMITTED_TRAJECTORY.read_text())
+        by_time = {run.created_at: run for run in registry.runs()}
+        for entry in records:
+            run = by_time[entry["timestamp"]]
+            assert run.metrics == entry
+            assert run.smoke == bool(entry.get("smoke", False))
+            assert run.cpus == (entry.get("parallel") or {}).get("cpus", 0)
+
+    def test_malformed_trajectory_fails_loudly(self, registry, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(DataError, match="cannot import"):
+            registry.import_trajectory(path)
+        path.write_text('[{"ok": true}, 7]')
+        with pytest.raises(DataError, match="non-record entry"):
+            registry.import_trajectory(path)
+
+
+class TestBaselineQuery:
+    def test_baseline_records_filters_by_smoke_flag(self, registry):
+        registry.import_trajectory(COMMITTED_TRAJECTORY)
+        records = json.loads(COMMITTED_TRAJECTORY.read_text())
+        for smoke in (True, False):
+            expected = [
+                entry
+                for entry in records
+                if bool(entry.get("smoke", False)) == smoke
+            ]
+            assert registry.baseline_records(smoke) == expected
+
+    def test_scenario_runs_never_pollute_baselines(self, registry):
+        registry.record(kind="scenario", metrics={"x": 1}, smoke=True, cpus=1)
+        assert registry.baseline_records(True) == []
+
+
+class TestConfigHash:
+    def test_machine_local_fields_stay_excluded(self):
+        """The portability contract the registry's comparability rests on:
+        two machines running the same *statistical* configuration hash
+        identically even with different parallelism knobs."""
+        base = DiscoveryConfig()
+        assert config_hash(base) == config_hash(
+            DiscoveryConfig(max_workers=8, parallel_scan_threshold=1)
+        )
+        for knob in ("max_workers", "parallel_scan_threshold"):
+            assert knob not in base.to_dict()
+
+    def test_statistical_fields_do_change_the_hash(self):
+        assert config_hash(DiscoveryConfig(max_order=2)) != config_hash(
+            DiscoveryConfig(max_order=3)
+        )
+
+    def test_dict_configs_hash_by_content(self):
+        assert config_hash({"suite": "run_all", "smoke": True}) == (
+            config_hash({"smoke": True, "suite": "run_all"})
+        )
+
+
+class TestGitSha:
+    def test_current_git_sha_in_this_checkout(self):
+        sha = current_git_sha()
+        # Either a real 40-hex sha (we run inside the repo) or "" when
+        # git is unavailable; never an exception.
+        assert sha == "" or (
+            len(sha) == 40 and all(c in "0123456789abcdef" for c in sha)
+        )
+
+    def test_github_sha_env_wins(self, monkeypatch):
+        monkeypatch.setenv("GITHUB_SHA", "feedface")
+        assert current_git_sha() == "feedface"

@@ -193,6 +193,102 @@ class TestScenarioGates:
         )
 
 
+class TestRegistryBaseline:
+    """--registry and the legacy --baseline shim reach the same verdict."""
+
+    def _registry(self, tmp_path, records):
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.store import RunRegistry
+
+        path = tmp_path / "runs.db"
+        with RunRegistry(path) as registry:
+            for entry in records:
+                registry.record(
+                    kind="benchmark",
+                    metrics=entry,
+                    smoke=entry.get("smoke", False),
+                    cpus=(entry.get("parallel") or {}).get("cpus", 0),
+                    created_at=entry["timestamp"],
+                )
+        return str(path)
+
+    @pytest.mark.parametrize("warm", [6.0, 4.0])
+    def test_same_verdict_as_flat_file(self, gate, tmp_path, warm):
+        records = [record(warm=8.0), record(warm=9.0)]
+        baseline = write(tmp_path / "base.json", records)
+        registry = self._registry(tmp_path, records)
+        candidate = write(tmp_path / "cand.json", [record(warm=warm)])
+        flat_exit = gate.main(
+            [
+                "--baseline",
+                baseline,
+                "--candidate",
+                candidate,
+                "--output",
+                str(tmp_path / "flat.json"),
+            ]
+        )
+        registry_exit = gate.main(
+            [
+                "--registry",
+                registry,
+                "--candidate",
+                candidate,
+                "--output",
+                str(tmp_path / "reg.json"),
+            ]
+        )
+        assert registry_exit == flat_exit
+        flat = json.loads((tmp_path / "flat.json").read_text())
+        reg = json.loads((tmp_path / "reg.json").read_text())
+        assert reg["passed"] == flat["passed"]
+        assert reg["ratios"] == flat["ratios"]
+        assert reg["scenarios"] == flat["scenarios"]
+
+    def test_flat_file_path_prints_deprecation_note(
+        self, gate, tmp_path, capsys
+    ):
+        baseline = write(tmp_path / "base.json", [record()])
+        candidate = write(tmp_path / "cand.json", [record()])
+        gate.main(["--baseline", baseline, "--candidate", candidate])
+        assert "deprecated" in capsys.readouterr().err
+
+    def test_exactly_one_baseline_source_required(self, gate, tmp_path):
+        candidate = write(tmp_path / "cand.json", [record()])
+        with pytest.raises(SystemExit):
+            gate.main(["--candidate", candidate])
+        baseline = write(tmp_path / "base.json", [record()])
+        registry = self._registry(tmp_path, [record()])
+        with pytest.raises(SystemExit):
+            gate.main(
+                [
+                    "--baseline",
+                    baseline,
+                    "--registry",
+                    registry,
+                    "--candidate",
+                    candidate,
+                ]
+            )
+
+    def test_empty_registry_warns_and_passes_without_floors(
+        self, gate, tmp_path, capsys
+    ):
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.store import RunRegistry
+
+        path = tmp_path / "empty.db"
+        RunRegistry(path).close()
+        candidate = write(tmp_path / "cand.json", [record(warm=0.1)])
+        assert (
+            gate.main(["--registry", str(path), "--candidate", candidate])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "holds no smoke=True benchmark runs" in captured.err
+        assert "no comparable baseline" in captured.out
+
+
 class TestReportArtifact:
     def test_output_written_with_verdict(self, gate, tmp_path):
         baseline = write(tmp_path / "base.json", [record(warm=8.0)])

@@ -385,6 +385,177 @@ class TestScenariosCommand:
             main(["scenarios"])
 
 
+class TestStoreCommands:
+    """The durable-store surface: --store/--name, history, diff, runs."""
+
+    def _delta_csv(self, tmp_path, n=200, seed=11):
+        import numpy as np
+
+        from repro.eval.paper import paper_table
+
+        table = paper_table()
+        dataset = Dataset.from_joint(
+            table.schema,
+            table.probabilities(),
+            n,
+            np.random.default_rng(seed),
+        )
+        path = tmp_path / "delta.csv"
+        write_dataset_csv(dataset, path)
+        return str(path)
+
+    def test_discover_into_store_then_update_and_history(
+        self, capsys, tmp_path
+    ):
+        store = str(tmp_path / "kb.db")
+        assert main(["discover", "--store", store]) == 0
+        assert "stored as 'paper'" in capsys.readouterr().out
+        csv = self._delta_csv(tmp_path)
+        assert main(["update", "--store", store, "--csv", csv]) == 0
+        assert "persisted to 'paper'" in capsys.readouterr().out
+        assert main(["history", "paper", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "update revisions" in output
+        assert "warm" in output
+
+    def test_history_json_is_machine_parseable(self, capsys, tmp_path):
+        import json
+
+        store = str(tmp_path / "kb.db")
+        assert main(["discover", "--store", store, "--name", "kb"]) == 0
+        capsys.readouterr()
+        assert main(["history", "kb", "--store", store, "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and rows[0]["mode"] == "initial"
+        assert rows[-1]["artifact"]
+
+    def test_diff_between_revisions(self, capsys, tmp_path):
+        store = str(tmp_path / "kb.db")
+        assert main(["discover", "--store", store]) == 0
+        csv = self._delta_csv(tmp_path)
+        assert main(["update", "--store", store, "--csv", csv]) == 0
+        capsys.readouterr()
+        assert main(["diff", "paper", "0", "1", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "revision 0 -> 1" in output
+        assert "samples:" in output
+
+    def test_update_requires_exactly_one_source(self, capsys, tmp_path):
+        csv = self._delta_csv(tmp_path)
+        assert main(["update", "--csv", csv]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert (
+            main(
+                [
+                    "update",
+                    "--csv",
+                    csv,
+                    "--kb",
+                    "kb.json",
+                    "--store",
+                    "kb.db",
+                ]
+            )
+            == 2
+        )
+
+    def test_update_needs_name_in_multi_kb_store(self, capsys, tmp_path):
+        store = str(tmp_path / "kb.db")
+        assert main(["discover", "--store", store, "--name", "one"]) == 0
+        assert main(["discover", "--store", store, "--name", "two"]) == 0
+        csv = self._delta_csv(tmp_path)
+        capsys.readouterr()
+        assert main(["update", "--store", store, "--csv", csv]) == 1
+        assert "--name is required" in capsys.readouterr().err
+
+    def test_discover_name_requires_store(self, capsys):
+        assert main(["discover", "--name", "x"]) == 2
+        assert "--name requires --store" in capsys.readouterr().err
+
+    def test_history_of_missing_kb_fails_cleanly(self, capsys, tmp_path):
+        store = str(tmp_path / "kb.db")
+        assert main(["discover", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["history", "ghost", "--store", store]) == 1
+        assert "no knowledge base named" in capsys.readouterr().err
+
+    def test_runs_import_list_show_round_trip(self, capsys, tmp_path):
+        import json
+        from pathlib import Path
+
+        registry = str(tmp_path / "runs.db")
+        trajectory = (
+            Path(__file__).resolve().parent.parent / "BENCH_discovery.json"
+        )
+        assert (
+            main(["runs", "import", str(trajectory), "--registry", registry])
+            == 0
+        )
+        assert "imported" in capsys.readouterr().out
+        # Idempotent: the re-import inserts nothing.
+        assert (
+            main(["runs", "import", str(trajectory), "--registry", registry])
+            == 0
+        )
+        assert "imported 0 new runs" in capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "runs",
+                    "list",
+                    "--registry",
+                    registry,
+                    "--smoke",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and all(row["smoke"] for row in rows)
+        assert (
+            main(["runs", "show", rows[0]["run_id"], "--registry", registry])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "benchmark"
+        assert document["metrics"]
+
+    def test_runs_show_unknown_id_fails_cleanly(self, capsys, tmp_path):
+        registry = str(tmp_path / "runs.db")
+        assert main(["runs", "show", "feedface", "--registry", registry]) == 1
+        assert "no run" in capsys.readouterr().err
+
+    def test_scenarios_run_records_through_registry(self, capsys, tmp_path):
+        import json
+        import sqlite3
+
+        registry = str(tmp_path / "runs.db")
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "run",
+                    "--smoke",
+                    "--scenario",
+                    "independence",
+                    "--no-baselines",
+                    "--registry",
+                    registry,
+                ]
+            )
+            == 0
+        )
+        assert "recorded 1 scenario runs" in capsys.readouterr().err
+        rows = sqlite3.connect(registry).execute(
+            "SELECT kind, smoke, metrics FROM runs"
+        ).fetchall()
+        assert len(rows) == 1
+        kind, smoke, metrics = rows[0]
+        assert kind == "scenario" and smoke == 1
+        assert json.loads(metrics)["scenario"] == "independence"
+
+
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])

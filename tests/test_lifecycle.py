@@ -198,3 +198,69 @@ class TestEquivalenceThroughLifecycle:
         assert np.allclose(
             live.kb.model.joint(), batch.model.joint(), atol=1e-7
         )
+
+
+class TestDurableLifecycle:
+    """bind_store/from_store: every refit persists before returning."""
+
+    def test_bind_store_saves_now_and_on_every_refit(self, table, tmp_path):
+        from repro.store import KBStore
+
+        live = LiveKnowledgeBase.from_data(
+            table, policy=UpdatePolicy(every_n=50)
+        )
+        with KBStore(tmp_path / "kb.db") as store:
+            live.bind_store(store, "survey")
+            assert store.names() == ["survey"]
+            boot_revision = store.describe("survey").latest_revision
+            for _ in range(50):
+                live.observe(("smoker", "yes", "no"))
+            assert store.describe("survey").latest_revision == (
+                boot_revision + 1
+            )
+            assert store.history("survey")[-1].artifact_sha is not None
+
+    def test_from_store_resumes_and_keeps_persisting(self, table, tmp_path):
+        from repro.core.serialization import canonical_json
+        from repro.store import KBStore
+
+        first = LiveKnowledgeBase.from_data(
+            table, policy=UpdatePolicy(every_n=50)
+        )
+        with KBStore(tmp_path / "kb.db") as store:
+            first.bind_store(store, "survey")
+            for _ in range(50):
+                first.observe(("smoker", "yes", "no"))
+            # A new process resumes from the store at the same state.
+            resumed = LiveKnowledgeBase.from_store(
+                store, "survey", policy=UpdatePolicy(every_n=50)
+            )
+            assert canonical_json(resumed.kb.to_dict()) == canonical_json(
+                first.kb.to_dict()
+            )
+            for _ in range(50):
+                resumed.observe(("non-smoker", "no", "no"))
+            assert store.describe("survey").latest_revision == (
+                resumed.kb.revisions[-1].number
+            )
+
+    def test_manual_flush_persists(self, table, tmp_path):
+        from repro.store import KBStore
+
+        live = LiveKnowledgeBase.from_data(
+            table, policy=UpdatePolicy(every_n=None)
+        )
+        with KBStore(tmp_path / "kb.db") as store:
+            live.bind_store(store, "survey")
+            live.observe(("smoker", "yes", "no"))
+            before = store.describe("survey").latest_revision
+            revision = live.flush()
+            assert revision is not None
+            assert store.describe("survey").latest_revision == (
+                revision.number
+            ) > before
+
+    def test_unbound_lifecycle_unchanged(self, live):
+        # No store bound: flush still works, nothing tries to persist.
+        live.observe(("smoker", "yes", "no"))
+        assert live.flush() is not None

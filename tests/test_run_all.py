@@ -160,6 +160,70 @@ class TestTrajectoryRecord:
         assert len(history) == 2
 
 
+class TestRegistry:
+    def test_registry_records_the_trajectory_record(
+        self, run_all, stubbed, tmp_path, capsys
+    ):
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.store import RunRegistry
+
+        target = tmp_path / "traj.json"
+        registry_path = tmp_path / "runs.db"
+        assert (
+            run_all.main(
+                [
+                    "--json",
+                    str(target),
+                    "--smoke",
+                    "--skip-suite",
+                    "--registry",
+                    str(registry_path),
+                ]
+            )
+            == 0
+        )
+        assert "recorded in" in capsys.readouterr().err
+        record = json.loads(target.read_text())[-1]
+        with RunRegistry(registry_path) as registry:
+            runs = registry.runs(kind="benchmark")
+            assert len(runs) == 1
+            assert runs[0].metrics == record
+            assert runs[0].smoke is True
+            assert runs[0].cpus == 4
+            assert runs[0].created_at == record["timestamp"]
+            # The registry run is exactly what the regression gate reads.
+            assert registry.baseline_records(True) == [record]
+
+    def test_rerunning_with_identical_record_is_idempotent(
+        self, run_all, stubbed, tmp_path, monkeypatch
+    ):
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.store import RunRegistry
+
+        monkeypatch.setattr(
+            run_all.time, "strftime", lambda *a: "2026-01-01T00:00:00Z"
+        )
+        target = tmp_path / "traj.json"
+        registry_path = tmp_path / "runs.db"
+        argv = [
+            "--json",
+            str(target),
+            "--skip-suite",
+            "--registry",
+            str(registry_path),
+        ]
+        assert run_all.main(argv) == 0
+        assert run_all.main(argv) == 0
+        # Flat file appends; the content-addressed registry does not.
+        assert len(json.loads(target.read_text())) == 2
+        with RunRegistry(registry_path) as registry:
+            assert len(registry.runs()) == 1
+
+    def test_registry_requires_json(self, run_all, stubbed, tmp_path):
+        with pytest.raises(SystemExit):
+            run_all.main(["--registry", str(tmp_path / "runs.db")])
+
+
 class TestGateMiss:
     def test_record_written_before_nonzero_exit(
         self, run_all, stubbed, monkeypatch, tmp_path, capsys
