@@ -30,6 +30,10 @@ ORDER = 3
 #: Enforced floors (full size, >= 4 CPUs): sharded scan and parallel
 #: batch-query speedup at 4 workers.
 MIN_PARALLEL_SPEEDUP = 2.0
+#: Cold-path floor (full size, >= 4 CPUs): with the shm transport the
+#: first scan/batch after a rebuild must no longer lose to serial —
+#: the cold pessimization the zero-copy transport exists to kill.
+MIN_PARALLEL_COLD_SPEEDUP = 1.0
 WORKERS = 4
 
 
@@ -123,3 +127,108 @@ def best_of(fn, rounds: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def measure_parallel(smoke: bool) -> dict:
+    """Parallel-subsystem trajectory metrics (equivalence always checked).
+
+    One definition for ``run_all.py --json`` and the standalone
+    ``bench_parallel.py --json`` emitter: serial-vs-sharded scan timings
+    (cold and warm), serial-vs-parallel batch query timings, and the
+    transport ledger — payload bytes moved through shared memory vs
+    pickling, broadcasts amortized away by the model fingerprint, worker
+    attach time.  Speedup ratios are recorded, not asserted — they depend
+    on the machine's core count (present in the record); the benchmark
+    asserts them under its own CPU gate, and ``check_regression.py``
+    gates the recorded ratios against the baseline trajectory.
+    """
+    import os
+
+    from repro.api.session import QuerySession
+    from repro.parallel.scan import ShardedScanExecutor
+    from repro.significance.kernels import OrderScanKernel
+    from repro.significance.mml import most_significant
+
+    repeats = timing_repeats(smoke)
+    table, constraints, model = build_world(smoke)
+
+    serial_kernel = OrderScanKernel(table, ORDER, constraints)
+    serial_tests = serial_kernel.scan(model)
+    with ShardedScanExecutor(max_workers=WORKERS) as executor:
+        executor.begin_order(table, ORDER, constraints, None)
+        parallel_tests, parallel_best = executor.scan(model)
+        if parallel_tests != serial_tests or parallel_best != (
+            most_significant(serial_tests)
+        ):
+            raise AssertionError(
+                "sharded scan diverged from the serial kernel"
+            )
+
+        def parallel_cold():
+            executor.begin_order(table, ORDER, constraints, None)
+            executor.scan(model)
+
+        scan_serial_cold = best_of(
+            lambda: OrderScanKernel(table, ORDER, constraints).scan(model),
+            repeats,
+        )
+        scan_serial_warm = best_of(
+            lambda: serial_kernel.scan(model), repeats
+        )
+        scan_parallel_cold = best_of(parallel_cold, repeats)
+        executor.begin_order(table, ORDER, constraints, None)
+        executor.scan(model)
+        scan_parallel_warm = best_of(lambda: executor.scan(model), repeats)
+        executor.end_order()
+        transport = executor.transport
+        scan_counters = executor.counters.to_dict()
+
+    queries = query_traffic(model.schema, num_queries(smoke))
+    serial_values = QuerySession(model).batch(queries)
+    query_serial = best_of(
+        lambda: QuerySession(model).batch(queries), repeats
+    )
+    with QuerySession(model, max_workers=WORKERS) as session:
+        if session.batch(queries) != serial_values:
+            raise AssertionError(
+                "parallel batch evaluation diverged from the serial session"
+            )
+
+        def query_cold():
+            session._parallel.reset()
+            session.batch(queries)
+
+        query_parallel_cold = best_of(query_cold, repeats)
+        query_parallel_warm = best_of(
+            lambda: session.batch(queries), repeats
+        )
+        query_counters = session._parallel.counters.to_dict()
+
+    return {
+        "workers": WORKERS,
+        "cpus": os.cpu_count() or 1,
+        "transport": transport,
+        "candidate_cells": len(serial_tests),
+        "n_queries": len(queries),
+        "scan_serial_cold_ms": 1e3 * scan_serial_cold,
+        "scan_sharded_cold_ms": 1e3 * scan_parallel_cold,
+        "scan_speedup_cold": scan_serial_cold / scan_parallel_cold,
+        "scan_serial_warm_ms": 1e3 * scan_serial_warm,
+        "scan_sharded_warm_ms": 1e3 * scan_parallel_warm,
+        "scan_speedup_warm": scan_serial_warm / scan_parallel_warm,
+        "scan_bytes_shared": scan_counters["bytes_shared"],
+        "scan_bytes_pickled": scan_counters["bytes_pickled"],
+        "scan_broadcasts_total": scan_counters["broadcasts_total"],
+        "scan_broadcasts_skipped": scan_counters["broadcasts_skipped"],
+        "scan_attach_ns": scan_counters["attach_ns"],
+        "query_serial_s": query_serial,
+        "query_parallel_cold_s": query_parallel_cold,
+        "query_parallel_warm_s": query_parallel_warm,
+        "query_speedup_cold": query_serial / query_parallel_cold,
+        "query_speedup_warm": query_serial / query_parallel_warm,
+        "query_bytes_shared": query_counters["bytes_shared"],
+        "query_bytes_pickled": query_counters["bytes_pickled"],
+        "query_broadcasts_total": query_counters["broadcasts_total"],
+        "query_broadcasts_skipped": query_counters["broadcasts_skipped"],
+        "query_attach_ns": query_counters["attach_ns"],
+    }

@@ -27,18 +27,26 @@ least 2x the serial path; under ``REPRO_BENCH_SMOKE=1`` (or fewer
 cores) the equivalences stay enforced and the ratios are reported only.
 """
 
+import argparse
+import json
 import multiprocessing
 import os
+import platform
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from _parallel_scenario import (
+    MIN_PARALLEL_COLD_SPEEDUP,
     MIN_PARALLEL_SPEEDUP,
     ORDER,
     WORKERS,
     best_of,
     build_world,
+    measure_parallel,
     num_queries,
     query_traffic,
     timing_repeats,
@@ -108,6 +116,7 @@ def test_bench_sharded_scan_speedup(world, write_report):
 
     cold_speedup = serial_cold_s / parallel_cold_s
     warm_speedup = serial_warm_s / parallel_warm_s
+    counters = executor.counters
     rows = [
         ["serial kernel, cold", f"{1e3 * serial_cold_s:.2f}", "1.0x"],
         [
@@ -126,13 +135,23 @@ def test_bench_sharded_scan_speedup(world, write_report):
         "parallel_scan.txt",
         f"SHARDED ORDER-{ORDER} SCAN ({len(serial_tests)} candidate "
         f"cells, {WORKERS} workers, {CPUS} cpus, best of {REPEATS})\n\n"
-        + format_table(["scan path", "per-order scan (ms)", "speedup"], rows),
+        + format_table(["scan path", "per-order scan (ms)", "speedup"], rows)
+        + f"\n\ntransport {executor.transport}: "
+        f"{counters.bytes_shared} B shared, "
+        f"{counters.bytes_pickled} B pickled, "
+        f"{counters.broadcasts_skipped}/{counters.broadcasts_total} "
+        f"broadcasts amortized away",
     )
 
     if ENFORCE_RATIOS:
         assert warm_speedup >= MIN_PARALLEL_SPEEDUP, (
             f"sharded warm scan only {warm_speedup:.1f}x the serial "
             f"kernel (need >= {MIN_PARALLEL_SPEEDUP}x)"
+        )
+        assert cold_speedup >= MIN_PARALLEL_COLD_SPEEDUP, (
+            f"sharded cold scan only {cold_speedup:.2f}x the serial "
+            f"kernel (need >= {MIN_PARALLEL_COLD_SPEEDUP}x: the shm "
+            f"transport exists to keep the cold path from losing)"
         )
 
 
@@ -189,6 +208,8 @@ def test_bench_parallel_batch_query_speedup(world, write_report):
 
         parallel_cold_s = best_of(parallel_cold, REPEATS)
         parallel_warm_s = best_of(lambda: session.batch(queries), REPEATS)
+        transport = session._parallel.transport
+        counters = session._parallel.counters.snapshot()
 
     cold_speedup = serial_s / parallel_cold_s
     n = len(queries)
@@ -218,7 +239,12 @@ def test_bench_parallel_batch_query_speedup(world, write_report):
         f"{WORKERS} workers, {CPUS} cpus, best of {REPEATS})\n\n"
         + format_table(
             ["path", "seconds", "queries/sec", "speedup"], rows
-        ),
+        )
+        + f"\n\ntransport {transport}: "
+        f"{counters.bytes_shared} B shared, "
+        f"{counters.bytes_pickled} B pickled, "
+        f"{counters.broadcasts_skipped}/{counters.broadcasts_total} "
+        f"broadcasts amortized away",
     )
 
     if ENFORCE_RATIOS:
@@ -226,3 +252,48 @@ def test_bench_parallel_batch_query_speedup(world, write_report):
             f"parallel batch only {cold_speedup:.1f}x the serial session "
             f"(need >= {MIN_PARALLEL_SPEEDUP}x)"
         )
+        warm_speedup = serial_s / parallel_warm_s
+        assert warm_speedup >= MIN_PARALLEL_COLD_SPEEDUP, (
+            f"parallel warm batch only {warm_speedup:.2f}x the serial "
+            f"session (need >= {MIN_PARALLEL_COLD_SPEEDUP}x)"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        required=True,
+        metavar="PATH",
+        help="write a parallel-bench record to PATH (CI artifact)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI"
+    )
+    args = parser.parse_args(argv)
+
+    metrics = measure_parallel(args.smoke or SMOKE)
+    record = {
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(time.time())
+        ),
+        "smoke": args.smoke or SMOKE,
+        "python": platform.python_version(),
+        "cpus": CPUS,
+        "parallel": metrics,
+    }
+    Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
+    shared = metrics["scan_bytes_shared"] + metrics["query_bytes_shared"]
+    pickled = metrics["scan_bytes_pickled"] + metrics["query_bytes_pickled"]
+    print(
+        f"parallel-bench record written to {args.json} "
+        f"(transport {metrics['transport']}: cold scan "
+        f"{metrics['scan_speedup_cold']:.2f}x / warm "
+        f"{metrics['scan_speedup_warm']:.2f}x on {CPUS} cpus, "
+        f"{shared} B shared vs {pickled} B pickled, bit-identical)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,10 @@ Checks, against the baseline trajectory records:
   single-record timing noise.  Parallel ratios additionally require the
   baseline machine to have had at least as many CPUs as workers; a
   laptop baseline can't set a multicore floor.
+- **absolute cold-path floors**: the sharded-scan and parallel-query
+  *cold* speedups must stay above fixed floors (no baseline needed) on
+  full-size multi-core candidates — the shm transport's break-even
+  contract for the first scan/batch after a rebuild.
 - **scenario conformance gates**: fail when any scenario that passed its
   gates in the baseline fails them in the candidate (and when the
   candidate has any gate failure at all — same contract as ``run_all``).
@@ -58,6 +62,16 @@ TRACKED_RATIOS = (
     # cpu-bound: the win comes from request coalescing and I/O overlap,
     # which survive on small machines.
     ("serving.throughput_ratio", False),
+)
+
+#: Baseline-independent floors on the cold parallel paths, enforced only
+#: for full-size candidates recorded on a machine with enough CPUs.  The
+#: shm transport's contract is that the *first* scan/batch after a
+#: rebuild breaks even against serial (1.0x); 0.95 leaves timing noise
+#: below the bar without letting the cold-path pessimization creep back.
+ABSOLUTE_FLOORS = (
+    ("parallel.scan_speedup_cold", 0.95),
+    ("parallel.query_speedup_cold", 0.95),
 )
 
 
@@ -129,6 +143,38 @@ def compare_ratios(
                 "candidate": candidate_value,
                 "floor": floor,
                 "status": "regressed" if regressed else "ok",
+            }
+        )
+    return rows
+
+
+def check_absolute_floors(candidate: dict) -> list[dict]:
+    """Floors that hold regardless of baseline history.
+
+    Skipped for smoke candidates (toy sizes sit below process round-trip
+    cost by design) and for machines with fewer CPUs than workers, the
+    same gate the benchmark itself applies.
+    """
+    rows = []
+    enforce = not candidate.get("smoke", False) and has_enough_cpus(
+        candidate
+    )
+    for metric, floor in ABSOLUTE_FLOORS:
+        value = lookup(candidate, metric)
+        if value is None:
+            continue
+        if not enforce:
+            status = "skipped (smoke or too few cpus)"
+        elif value < floor:
+            status = "regressed"
+        else:
+            status = "ok"
+        rows.append(
+            {
+                "metric": metric,
+                "floor": floor,
+                "candidate": value,
+                "status": status,
             }
         )
     return rows
@@ -241,11 +287,17 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     ratios = compare_ratios(baseline, candidate, args.tolerance)
+    floors = check_absolute_floors(candidate)
     scenarios = compare_scenarios(baseline, candidate)
     regressions = [
         f"{row['metric']}: {row['candidate']:.2f}x < floor "
         f"{row['floor']:.2f}x (baseline {row['baseline']:.2f}x)"
         for row in ratios
+        if row["status"] == "regressed"
+    ] + [
+        f"{row['metric']}: {row['candidate']:.2f}x < absolute floor "
+        f"{row['floor']:.2f}x"
+        for row in floors
         if row["status"] == "regressed"
     ] + [
         f"scenario {row['scenario']}: {'; '.join(row['gate_failures'])}"
@@ -259,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
         "baseline_records_compared": len(baseline),
         "candidate_timestamp": candidate.get("timestamp"),
         "ratios": ratios,
+        "absolute_floors": floors,
         "scenarios": scenarios,
         "regressions": regressions,
         "passed": not regressions,
@@ -272,6 +325,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(
             f"{row['metric']:<32} baseline {baseline_text:>8} "
+            f"candidate {row['candidate']:.2f}x  [{row['status']}]"
+        )
+    for row in floors:
+        print(
+            f"{row['metric']:<32} absolute {row['floor']:.2f}x "
             f"candidate {row['candidate']:.2f}x  [{row['status']}]"
         )
     failing = [row for row in scenarios if not row["candidate_passed"]]

@@ -136,96 +136,17 @@ def measure_discovery(smoke: bool) -> dict:
 def measure_parallel(smoke: bool) -> dict:
     """Parallel-subsystem trajectory metrics (equivalence always checked).
 
-    The workload comes from ``_parallel_scenario``, the module the
-    enforced ``bench_parallel.py`` uses.  Speedup ratios are recorded,
-    not asserted — they depend on the machine's core count (present in
-    the record); the benchmark asserts them under its own CPU gate.
+    The workload and measurement live in ``_parallel_scenario`` — the
+    module the enforced ``bench_parallel.py`` (and its standalone
+    ``--json`` emitter) uses — so trajectory records, CI artifacts, and
+    the asserted benchmarks always measure exactly the same thing.  The
+    record includes the resolved transport and its payload ledger
+    (``scan_bytes_shared`` / ``scan_bytes_pickled`` and the query-side
+    equivalents) alongside the cold and warm speedups.
     """
-    import os as _os
+    from _parallel_scenario import measure_parallel as _measure
 
-    from _parallel_scenario import (
-        ORDER,
-        WORKERS,
-        best_of,
-        build_world,
-        num_queries,
-        query_traffic,
-        timing_repeats,
-    )
-    from repro.api.session import QuerySession
-    from repro.parallel.scan import ShardedScanExecutor
-    from repro.significance.kernels import OrderScanKernel
-    from repro.significance.mml import most_significant
-
-    repeats = timing_repeats(smoke)
-    table, constraints, model = build_world(smoke)
-
-    serial_kernel = OrderScanKernel(table, ORDER, constraints)
-    serial_tests = serial_kernel.scan(model)
-    with ShardedScanExecutor(max_workers=WORKERS) as executor:
-        executor.begin_order(table, ORDER, constraints, None)
-        parallel_tests, parallel_best = executor.scan(model)
-        if parallel_tests != serial_tests or parallel_best != (
-            most_significant(serial_tests)
-        ):
-            raise AssertionError(
-                "sharded scan diverged from the serial kernel"
-            )
-
-        def parallel_cold():
-            executor.begin_order(table, ORDER, constraints, None)
-            executor.scan(model)
-
-        scan_serial_cold = best_of(
-            lambda: OrderScanKernel(table, ORDER, constraints).scan(model),
-            repeats,
-        )
-        scan_serial_warm = best_of(
-            lambda: serial_kernel.scan(model), repeats
-        )
-        scan_parallel_cold = best_of(parallel_cold, repeats)
-        executor.begin_order(table, ORDER, constraints, None)
-        executor.scan(model)
-        scan_parallel_warm = best_of(lambda: executor.scan(model), repeats)
-        executor.end_order()
-
-    queries = query_traffic(model.schema, num_queries(smoke))
-    serial_values = QuerySession(model).batch(queries)
-    query_serial = best_of(
-        lambda: QuerySession(model).batch(queries), repeats
-    )
-    with QuerySession(model, max_workers=WORKERS) as session:
-        if session.batch(queries) != serial_values:
-            raise AssertionError(
-                "parallel batch evaluation diverged from the serial session"
-            )
-
-        def query_cold():
-            session._parallel.reset()
-            session.batch(queries)
-
-        query_parallel_cold = best_of(query_cold, repeats)
-        query_parallel_warm = best_of(
-            lambda: session.batch(queries), repeats
-        )
-
-    return {
-        "workers": WORKERS,
-        "cpus": _os.cpu_count() or 1,
-        "candidate_cells": len(serial_tests),
-        "n_queries": len(queries),
-        "scan_serial_cold_ms": 1e3 * scan_serial_cold,
-        "scan_sharded_cold_ms": 1e3 * scan_parallel_cold,
-        "scan_speedup_cold": scan_serial_cold / scan_parallel_cold,
-        "scan_serial_warm_ms": 1e3 * scan_serial_warm,
-        "scan_sharded_warm_ms": 1e3 * scan_parallel_warm,
-        "scan_speedup_warm": scan_serial_warm / scan_parallel_warm,
-        "query_serial_s": query_serial,
-        "query_parallel_cold_s": query_parallel_cold,
-        "query_parallel_warm_s": query_parallel_warm,
-        "query_speedup_cold": query_serial / query_parallel_cold,
-        "query_speedup_warm": query_serial / query_parallel_warm,
-    }
+    return _measure(smoke)
 
 
 def measure_serving(smoke: bool) -> dict:

@@ -266,6 +266,9 @@ class QuerySession:
         # failing forever on "pool is closed".  Query errors leave the
         # pool healthy and the warm evaluator in place.
         if self._parallel is not None and self._parallel.pool.closed:
+            # close() (not just dropping the reference) so the evaluator's
+            # shared-memory segments are unlinked now, not at GC's leisure.
+            self._parallel.close()
             self._parallel = None
         if self._parallel is None:
             from repro.parallel.query import ParallelQueryEvaluator
@@ -280,6 +283,7 @@ class QuerySession:
             return self._parallel.batch(queries)
         finally:
             if self._parallel.pool.closed:
+                self._parallel.close()
                 self._parallel = None
 
     def distribution(

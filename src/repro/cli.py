@@ -1032,10 +1032,44 @@ def _render_profile(result) -> str:
     table = format_table(
         ["stage", "calls", "work", "seconds", "share"], profile.rows()
     )
-    return (
+    text = (
         f"discovery stage timings (total {profile.total_seconds:.4f}s)\n"
         + table
     )
+    if profile.transports:
+        rows = [
+            [
+                str(entry["order"]),
+                entry["transport"],
+                _format_bytes(entry.get("bytes_shared", 0)),
+                _format_bytes(entry.get("bytes_pickled", 0)),
+                f"{entry.get('broadcasts_skipped', 0)}"
+                f"/{entry.get('broadcasts_total', 0)}",
+                f"{entry.get('attach_ns', 0) / 1e6:.2f}",
+            ]
+            for entry in profile.transports
+        ]
+        transport_table = format_table(
+            ["order", "transport", "shared", "pickled",
+             "bcasts skipped", "attach ms"],
+            rows,
+        )
+        text += (
+            f"\n\nsharded-scan transport (total "
+            f"{_format_bytes(profile.bytes_shared)} shared, "
+            f"{_format_bytes(profile.bytes_pickled)} pickled, "
+            f"{profile.broadcasts_skipped}/{profile.broadcasts_total} "
+            f"broadcasts amortized)\n" + transport_table
+        )
+    return text
+
+
+def _format_bytes(count: int) -> str:
+    if count >= 1 << 20:
+        return f"{count / (1 << 20):.1f} MiB"
+    if count >= 1 << 10:
+        return f"{count / (1 << 10):.1f} KiB"
+    return f"{count} B"
 
 
 if __name__ == "__main__":

@@ -59,6 +59,13 @@ class DiscoveryConfig:
         The chosen path per order lands in
         :attr:`~repro.significance.kernels.DiscoveryProfile.scan_paths`.
         Machine-local like ``max_workers`` and likewise not serialized.
+    transport:
+        How sharded-scan tensors move between master and workers:
+        ``"pipe"`` (pickle over the worker pipes), ``"shm"`` (zero-copy
+        shared-memory segments), or ``None`` — defer to the
+        ``REPRO_PARALLEL_TRANSPORT`` environment variable, defaulting to
+        shm where available.  Bit-identical results either way; machine-
+        local like ``max_workers`` and likewise not serialized.
     """
 
     max_order: int | None = None
@@ -70,6 +77,7 @@ class DiscoveryConfig:
     given_constraints: tuple[CellConstraint, ...] = ()
     max_workers: int = 1
     parallel_scan_threshold: int = 512
+    transport: str | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.given_constraints, tuple):
@@ -100,6 +108,15 @@ class DiscoveryConfig:
             raise DataError(
                 f"parallel_scan_threshold must be >= 0, got "
                 f"{self.parallel_scan_threshold}"
+            )
+        if self.transport is not None and self.transport not in (
+            "pipe",
+            "shm",
+            "auto",
+        ):
+            raise DataError(
+                f"unknown transport {self.transport!r}; choose 'pipe', "
+                f"'shm', 'auto', or None"
             )
 
     def to_dict(self) -> dict:

@@ -105,7 +105,9 @@ class DiscoveryEngine:
         ):
             from repro.parallel.scan import ShardedScanExecutor
 
-            executor = ShardedScanExecutor(self.config.max_workers)
+            executor = ShardedScanExecutor(
+                self.config.max_workers, transport=self.config.transport
+            )
             self._owns_executor = True
         self.executor = executor
 
@@ -337,6 +339,9 @@ class DiscoveryEngine:
             kernel = OrderScanKernel(table, order, constraints, config.priors)
         else:
             profile.record_scan_path(order, "reference", pool_cells)
+        counters_before = (
+            executor.counters.snapshot() if executor is not None else None
+        )
         try:
             return self._scan_level_loop(
                 table, order, constraints, model, result, kernel, executor
@@ -344,6 +349,11 @@ class DiscoveryEngine:
         finally:
             if executor is not None:
                 executor.end_order()
+                profile.add_transport(
+                    order,
+                    executor.transport,
+                    executor.counters.delta(counters_before).to_dict(),
+                )
 
     def _scan_level_loop(
         self,

@@ -28,10 +28,12 @@ including a worker dying mid-task — surfaces as :class:`ParallelError`.
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import importlib
 import multiprocessing
 import traceback
+import weakref
 
 from repro.exceptions import ParallelError, ReproError
 
@@ -91,6 +93,27 @@ def shard_bounds(n_items: int, n_shards: int) -> list[tuple[int, int]]:
         bounds.append((start, stop))
         start = stop
     return bounds
+
+
+#: Pools not yet closed, shut down from ``atexit`` while the interpreter
+#: is still whole.  Registered at import time — i.e. *after* the
+#: ``multiprocessing`` machinery this module imports registered its own
+#: handlers — so LIFO ordering runs it first, before that machinery (or
+#: module globals like ``contextlib``) is torn down.  GC'd pools leave the
+#: set by themselves; ``__del__`` stays a shutdown-safe last resort for
+#: pools collected *during* interpreter teardown.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+def _close_live_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_pools)
 
 
 def _worker_main(connection) -> None:
@@ -197,6 +220,7 @@ class WorkerPool:
         self._workers: list | None = None
         self._states: list[dict] | None = None
         self._closed = False
+        _LIVE_POOLS.add(self)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -234,22 +258,37 @@ class WorkerPool:
             self._workers = workers
 
     def close(self) -> None:
-        """Stop every worker; idempotent, safe after worker death."""
+        """Stop every worker; idempotent, safe after worker death.
+
+        Also safe during interpreter shutdown, where finalizers run with
+        module globals possibly already ``None``d: only plain
+        ``try/except`` below — no ``contextlib``/helper lookups — and
+        every pipe/process call is individually guarded, so a half-dead
+        worker (or an already-torn-down ``multiprocessing``) can never
+        make teardown raise.
+        """
         self._closed = True
         self._states = None
         workers, self._workers = self._workers, None
         if not workers:
             return
         for _process, connection in workers:
-            with contextlib.suppress(BrokenPipeError, OSError):
+            try:
                 connection.send(("exit",))
+            except BaseException:
+                pass
         for process, connection in workers:
-            process.join(timeout=2.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=1.0)
-            with contextlib.suppress(OSError):
+            try:
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+            except BaseException:
+                pass
+            try:
                 connection.close()
+            except BaseException:
+                pass
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -258,8 +297,10 @@ class WorkerPool:
         self.close()
 
     def __del__(self) -> None:
-        with contextlib.suppress(Exception):
+        try:
             self.close()
+        except BaseException:
+            pass
 
     # -- dispatch -----------------------------------------------------------------
 

@@ -13,6 +13,12 @@ The model is broadcast to workers once, then re-broadcast only when its
 staleness signal the serial session uses, so a
 :meth:`~repro.core.knowledge_base.ProbabilisticKnowledgeBase.update` that
 absorbs new data in place invalidates worker sessions on the next batch.
+Under the default ``shm`` transport (:mod:`repro.parallel.shm`) that
+broadcast ships the model's factors as one float64 block through a shared
+segment — pickling only a tiny layout description — so a rebroadcast costs
+one memcpy instead of serializing the model per worker; the block crosses
+bit-exactly, and :class:`~repro.maxent.model.MaxEntModel` copies on
+construction, so worker models are byte-identical to the master's.
 
 A query that fails inside a worker (bad attribute, zero-probability
 evidence) raises the same :class:`~repro.exceptions.QueryError` the serial
@@ -26,11 +32,22 @@ from __future__ import annotations
 from repro.exceptions import ParallelError
 from repro.maxent.model import MaxEntModel
 from repro.parallel.pool import WorkerPool, shard_bounds
+from repro.parallel.shm import (
+    SegmentAttachments,
+    SharedTensorPool,
+    TransportCounters,
+    model_payload_bytes,
+    pack_model,
+    resolve_transport,
+    unpack_model,
+)
 
 __all__ = ["ParallelQueryEvaluator"]
 
 _TASK_INIT = f"{__name__}:_init_session"
+_TASK_INIT_SHM = f"{__name__}:_init_session_shm"
 _TASK_SET_MODEL = f"{__name__}:_set_model"
+_TASK_SET_MODEL_SHM = f"{__name__}:_set_model_shm"
 _TASK_BATCH = f"{__name__}:_evaluate_shard"
 
 
@@ -45,11 +62,39 @@ def _init_session(state, model, backend, cache_size) -> None:
     )
 
 
+def _unpack_shared_model(state, schema, layout, handle) -> MaxEntModel:
+    attachments = state.get("attachments")
+    if attachments is None:
+        attachments = state["attachments"] = SegmentAttachments()
+    block = attachments.view(handle)
+    return unpack_model(schema, layout, block)
+
+
+def _init_session_shm(state, schema, backend, cache_size, layout, handle):
+    from repro.api.session import QuerySession
+
+    model = _unpack_shared_model(state, schema, layout, handle)
+    state["schema"] = schema
+    state["session"] = QuerySession(
+        model, backend=backend, cache_size=cache_size
+    )
+    return state["attachments"].take_attach_ns()
+
+
 def _set_model(state, model) -> None:
     session = state.get("session")
     if session is None:
         raise ParallelError("query worker has no session")
     session.set_model(model)
+
+
+def _set_model_shm(state, layout, handle):
+    session = state.get("session")
+    if session is None:
+        raise ParallelError("query worker has no session")
+    model = _unpack_shared_model(state, state["schema"], layout, handle)
+    session.set_model(model)
+    return state["attachments"].take_attach_ns()
 
 
 def _evaluate_shard(state, queries) -> list[float]:
@@ -63,7 +108,12 @@ def _evaluate_shard(state, queries) -> list[float]:
 
 
 class ParallelQueryEvaluator:
-    """Evaluates query batches across a pool of worker sessions."""
+    """Evaluates query batches across a pool of worker sessions.
+
+    ``transport`` picks how model broadcasts move (``"pipe"`` / ``"shm"``
+    / None = the ``REPRO_PARALLEL_TRANSPORT`` environment default);
+    ``counters`` accumulates the payload bytes and amortized broadcasts.
+    """
 
     def __init__(
         self,
@@ -73,6 +123,7 @@ class ParallelQueryEvaluator:
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
         start_method: str | None = None,
+        transport: str | None = None,
     ):
         if pool is None:
             if max_workers is None:
@@ -82,10 +133,17 @@ class ParallelQueryEvaluator:
             pool = WorkerPool(max_workers, start_method=start_method)
         self.pool = pool
         self.max_workers = pool.max_workers
+        self.transport = resolve_transport(transport)
+        self.counters = TransportCounters()
         self._model = model
         self._backend = backend
         self._cache_size = int(cache_size)
         self._broadcast_fingerprint: int | None = None
+        self._tensor_pool = (
+            SharedTensorPool() if self.transport == "shm" else None
+        )
+        self._block_handle = None
+        self._block_view = None
 
     def set_model(self, model: MaxEntModel) -> None:
         """Point workers at a new model (re-broadcast on the next batch)."""
@@ -96,16 +154,71 @@ class ParallelQueryEvaluator:
         """Force a full worker-session rebuild on the next batch."""
         self._broadcast_fingerprint = None
 
+    def _publish_model(self):
+        """Write the packed model into the shared block segment.
+
+        Reuses the mapped segment in place when the block size is
+        unchanged (workers read it only inside the synchronous broadcast
+        that follows, so overwriting here can never race a reader).
+        """
+        layout, block = pack_model(self._model)
+        if (
+            self._block_handle is not None
+            and self._block_handle.shape == block.shape
+        ):
+            self._block_view[...] = block
+            self._block_handle = self._tensor_pool.restamp(
+                self._block_handle
+            )
+        else:
+            if self._block_handle is not None:
+                self._tensor_pool.release(self._block_handle)
+            self._block_handle, self._block_view = self._tensor_pool.acquire(
+                block.shape, block.dtype
+            )
+            self._block_view[...] = block
+        self.counters.bytes_shared += block.nbytes
+        return layout, self._block_handle
+
     def _ensure_current(self) -> None:
         fingerprint = self._model.fingerprint()
+        counters = self.counters
+        counters.broadcasts_total += 1
         if self._broadcast_fingerprint is None:
-            self.pool.broadcast(
-                _TASK_INIT, self._model, self._backend, self._cache_size
-            )
+            if self.transport == "shm":
+                layout, handle = self._publish_model()
+                replies = self.pool.broadcast(
+                    _TASK_INIT_SHM,
+                    self._model.schema,
+                    self._backend,
+                    self._cache_size,
+                    layout,
+                    handle,
+                )
+                counters.attach_ns += sum(replies)
+            else:
+                self.pool.broadcast(
+                    _TASK_INIT, self._model, self._backend, self._cache_size
+                )
+                counters.bytes_pickled += (
+                    model_payload_bytes(self._model) * self.max_workers
+                )
         elif fingerprint != self._broadcast_fingerprint:
             # In-place mutation (kb.update's absorb): same object, new
             # factors — workers swap the model, dropping their caches.
-            self.pool.broadcast(_TASK_SET_MODEL, self._model)
+            if self.transport == "shm":
+                layout, handle = self._publish_model()
+                replies = self.pool.broadcast(
+                    _TASK_SET_MODEL_SHM, layout, handle
+                )
+                counters.attach_ns += sum(replies)
+            else:
+                self.pool.broadcast(_TASK_SET_MODEL, self._model)
+                counters.bytes_pickled += (
+                    model_payload_bytes(self._model) * self.max_workers
+                )
+        else:
+            counters.broadcasts_skipped += 1
         self._broadcast_fingerprint = fingerprint
 
     def batch(self, queries) -> list[float]:
@@ -123,6 +236,10 @@ class ParallelQueryEvaluator:
 
     def close(self) -> None:
         self._broadcast_fingerprint = None
+        self._block_handle = None
+        self._block_view = None
+        if self._tensor_pool is not None:
+            self._tensor_pool.close()
         self.pool.close()
 
     def __enter__(self) -> "ParallelQueryEvaluator":
@@ -134,5 +251,5 @@ class ParallelQueryEvaluator:
     def __repr__(self) -> str:
         return (
             f"ParallelQueryEvaluator(backend={self._backend!r}, "
-            f"pool={self.pool!r})"
+            f"transport={self.transport!r}, pool={self.pool!r})"
         )

@@ -9,16 +9,32 @@ statistics (counts, coefficient arrays, Eq-41 range tables) are built once
 per order per worker and survive across the scan-adopt-refit rounds
 exactly as the serial kernel's do.
 
-Per scan the master materializes the model's joint once and broadcasts the
-array; per adoption it broadcasts the adopted constraint so every worker's
-constraint-set copy (and kernel cache invalidation) tracks the master's.
+Per scan the master publishes the model's joint once — per adoption it
+broadcasts the adopted constraint so every worker's constraint-set copy
+(and kernel cache invalidation) tracks the master's.  *How* the joint and
+the scan results move is the transport's business
+(:mod:`repro.parallel.shm`):
 
-Two things keep the parallel path fast where a naive port would not be:
+- under the default ``shm`` transport the joint is written into one
+  shared-memory segment (republished only when ``model.fingerprint()``
+  changes) and workers attach zero-copy read-only views; shard result
+  float columns above ``result_threshold_bytes`` come back through
+  per-worker shared output slabs, and data-side columns (candidate
+  values, observed counts, determined/feasible tables) are shipped once
+  per kernel-cache build and referenced by version afterwards;
+- under ``pipe`` everything crosses the worker pipes by pickle — PR 5's
+  behavior, kept selectable (``REPRO_PARALLEL_TRANSPORT``) for platforms
+  without usable shared memory.
 
-- workers ship scans in **columnar** form (lists of primitives — several
-  times cheaper to pickle than CellTest objects) and compute their
+Three things keep the parallel path fast where a naive port would not be:
+
+- workers ship scans in **columnar** form (primitive columns — several
+  times cheaper to move than CellTest objects) and compute their
   shard-local greedy argmax themselves, so the master's per-scan serial
-  work is a cheap decode of a few lists plus a max over shard bests;
+  work is a cheap decode of a few columns plus a max over shard bests;
+- under shm those columns stay float64 *arrays* end to end — slab write,
+  slab read, one memcpy each — never expanding into per-cell Python
+  floats on the hot path;
 - the full :class:`~repro.significance.result.CellTest` list the audit
   trail wants is wrapped in :class:`LazyScanTests` and only materialized
   when something actually reads it (trace serialization, summaries,
@@ -35,6 +51,7 @@ across shard counts and uneven splits.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 
 import numpy as np
@@ -44,6 +61,12 @@ from repro.exceptions import ParallelError
 from repro.maxent.constraints import CellConstraint, ConstraintSet
 from repro.maxent.model import MaxEntModel
 from repro.parallel.pool import WorkerPool, shard_bounds
+from repro.parallel.shm import (
+    SegmentAttachments,
+    SharedTensorPool,
+    TransportCounters,
+    resolve_transport,
+)
 from repro.significance.kernels import OrderScanKernel, tests_from_columns
 from repro.significance.result import CellTest
 
@@ -51,27 +74,37 @@ __all__ = ["LazyScanTests", "ShardedScanExecutor", "scan_order_sharded"]
 
 _TASK_INIT = f"{__name__}:_init_order"
 _TASK_SCAN = f"{__name__}:_scan_shard"
+_TASK_SCAN_SHM = f"{__name__}:_scan_shard_shm"
 _TASK_ADOPT = f"{__name__}:_adopt"
 _TASK_END = f"{__name__}:_end_order"
+
+#: Shard float columns smaller than this return through the pipe even
+#: under shm — below it the slab bookkeeping costs more than the copy.
+DEFAULT_RESULT_THRESHOLD_BYTES = 32 * 1024
 
 
 def _best_in_columns(columns) -> tuple[int, float] | None:
     """Shard-local greedy argmax: ``(flat index, m2 - m1)`` of the most
     significant cell, or None.  Mirrors
-    :func:`repro.significance.mml.most_significant` exactly — strict
-    ``<`` keeps the first of equal deltas, matching ``min()``."""
+    :func:`repro.significance.mml.most_significant` exactly:
+    ``np.argmin`` keeps the first of equal minima — the same cell a
+    strict-``<`` scalar sweep (and ``min()``) lands on — and float64
+    subtraction is IEEE-identical whether the columns arrive as lists or
+    as arrays, so the pick cannot flip across transports."""
     best_index = None
     best_delta = 0.0
     offset = 0
     for subset_columns in columns:
-        m1 = subset_columns[7]
-        m2 = subset_columns[8]
-        for i in range(len(m1)):
-            delta = m2[i] - m1[i]
-            if delta < 0.0 and (best_index is None or delta < best_delta):
-                best_index = offset + i
-                best_delta = delta
-        offset += len(m1)
+        delta = np.asarray(subset_columns[8]) - np.asarray(subset_columns[7])
+        if delta.size:
+            position = int(np.argmin(delta))
+            candidate = float(delta[position])
+            if candidate < 0.0 and (
+                best_index is None or candidate < best_delta
+            ):
+                best_index = offset + position
+                best_delta = candidate
+        offset += delta.size
     if best_index is None:
         return None
     return best_index, best_delta
@@ -89,7 +122,16 @@ def _test_at(columns, index: int) -> CellTest:
         if index < count:
             row = (
                 subset_columns[0],
-                *([column[index]] for column in subset_columns[1:]),
+                *(
+                    # .item() exactly unwraps np scalars the array-backed
+                    # columns yield, so the CellTest holds plain floats.
+                    [
+                        column[index].item()
+                        if isinstance(column[index], np.generic)
+                        else column[index]
+                    ]
+                    for column in subset_columns[1:]
+                ),
             )
             return tests_from_columns([row])[0]
         index -= count
@@ -115,19 +157,35 @@ class LazyScanTests(Sequence):
             for subset_columns in columns
         )
         self._tests: list[CellTest] | None = None
+        self._lock = threading.Lock()
 
     def _materialize(self) -> list[CellTest]:
+        # Serving reads traces from multiple threads; the lock makes the
+        # decode happen exactly once, and every reader sees one list.
         if self._tests is None:
-            tests: list[CellTest] = []
-            for columns in self._shards:
-                tests.extend(tests_from_columns(columns))
-            self._tests = tests
-            self._shards = None  # the columns are no longer needed
+            with self._lock:
+                if self._tests is None:
+                    tests: list[CellTest] = []
+                    for columns in self._shards:
+                        tests.extend(tests_from_columns(columns))
+                    self._tests = tests
+                    self._shards = None  # the columns are no longer needed
         return self._tests
 
     @property
     def materialized(self) -> bool:
         return self._tests is not None
+
+    def __getstate__(self) -> dict:
+        # Locks don't pickle; a serialized instance carries the decoded
+        # CellTests (they're being read anyway — this IS a read).
+        return {"count": self._count, "tests": self._materialize()}
+
+    def __setstate__(self, state: dict) -> None:
+        self._count = state["count"]
+        self._tests = state["tests"]
+        self._shards = None
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return self._count
@@ -159,14 +217,26 @@ class LazyScanTests(Sequence):
 # -- worker-side tasks ------------------------------------------------------------
 
 
-def _init_order(state, table, order, constraints, priors, subsets) -> None:
+def _init_order(state, table_ref, order, constraints, priors, subsets) -> None:
     # Each worker owns a private constraint copy that evolves via _adopt
     # broadcasts.  Process workers get one implicitly from pickling; the
     # explicit copy keeps the inline fallback identical (adopting into
     # the master's set through a shared reference would double-add).
+    #
+    # The table is a broadcast-amortized reference: ("table", table) ships
+    # it (pickled — once per executor lifetime for a given table object),
+    # ("cached",) reuses the one from a previous order.
+    kind = table_ref[0]
+    if kind == "table":
+        state["table"] = table_ref[1]
+    elif "table" not in state:
+        raise ParallelError(
+            "worker was told to reuse a cached table it never received"
+        )
     state["kernel"] = OrderScanKernel(
-        table, order, constraints.copy(), priors, subsets=subsets
+        state["table"], order, constraints.copy(), priors, subsets=subsets
     )
+    state["sent_versions"] = {}
 
 
 def _scan_shard(state, joint):
@@ -175,6 +245,66 @@ def _scan_shard(state, joint):
         raise ParallelError("scan worker has no active order")
     columns = kernel.scan_columns(None, joint=joint)
     return columns, _best_in_columns(columns)
+
+
+def _scan_shard_shm(state, joint_handle, slab_handle):
+    """One shard scan under the shm transport.
+
+    Reads the joint through a zero-copy view of the master's segment,
+    keeps the float columns as arrays, and returns
+    ``(meta, block, best, attach_ns)``: per-subset metadata (data-side
+    columns, or a version reference when the master already holds them),
+    the concatenated float columns — written into the shared ``slab`` and
+    ``None`` here when a slab was provided, else returned through the
+    pipe as one array — the shard-local argmax, and segment attach time.
+    """
+    kernel = state.get("kernel")
+    if kernel is None:
+        raise ParallelError("scan worker has no active order")
+    attachments = state.get("attachments")
+    if attachments is None:
+        attachments = state["attachments"] = SegmentAttachments()
+    joint = attachments.view(joint_handle)
+    columns = kernel.scan_columns(None, joint=joint, float_arrays=True)
+    best = _best_in_columns(columns)
+    sent_versions = state.setdefault("sent_versions", {})
+    meta = []
+    float_groups = []
+    for subset_columns in columns:
+        names = subset_columns[0]
+        count = len(subset_columns[1])
+        version = kernel.stats_version(names)
+        if sent_versions.get(names) == version:
+            meta.append(("cached", names, version, count))
+        else:
+            sent_versions[names] = version
+            meta.append(
+                (
+                    "data",
+                    names,
+                    subset_columns[1],  # candidate_values
+                    subset_columns[2],  # observed
+                    subset_columns[9],  # determined
+                    subset_columns[10],  # feasible_range
+                    version,
+                    count,
+                )
+            )
+        float_groups.append((count, subset_columns[3:9]))
+    if slab_handle is not None:
+        slab = attachments.view(slab_handle, writable=True)
+        offset = 0
+        for count, group in float_groups:
+            for column in group:
+                slab[offset : offset + count] = column
+                offset += count
+        block = None
+    else:
+        parts = [column for _count, group in float_groups for column in group]
+        block = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+        )
+    return meta, block, best, attachments.take_attach_ns()
 
 
 def _adopt(state, constraint) -> None:
@@ -187,6 +317,7 @@ def _adopt(state, constraint) -> None:
 
 def _end_order(state) -> None:
     state.pop("kernel", None)
+    state.pop("sent_versions", None)
 
 
 # -- master side ------------------------------------------------------------------
@@ -205,6 +336,12 @@ class ShardedScanExecutor:
 
     One executor (and its pool) serves a whole discovery run — workers
     persist across orders, only their per-order kernels are rebuilt.
+
+    ``transport`` picks how tensors move (``"pipe"`` / ``"shm"`` / None =
+    the ``REPRO_PARALLEL_TRANSPORT`` environment default, auto-selecting
+    shm where available); ``counters`` accumulates what it moved.  Under
+    shm, shard result float columns whose upper-bound size reaches
+    ``result_threshold_bytes`` return through per-worker shared slabs.
     """
 
     def __init__(
@@ -212,6 +349,8 @@ class ShardedScanExecutor:
         max_workers: int | None = None,
         pool: WorkerPool | None = None,
         start_method: str | None = None,
+        transport: str | None = None,
+        result_threshold_bytes: int = DEFAULT_RESULT_THRESHOLD_BYTES,
     ):
         if pool is None:
             if max_workers is None:
@@ -221,7 +360,22 @@ class ShardedScanExecutor:
             pool = WorkerPool(max_workers, start_method=start_method)
         self.pool = pool
         self.max_workers = pool.max_workers
+        self.transport = resolve_transport(transport)
+        self.result_threshold_bytes = int(result_threshold_bytes)
+        self.counters = TransportCounters()
         self._active_shards = 0
+        self._tensor_pool = (
+            SharedTensorPool() if self.transport == "shm" else None
+        )
+        self._joint_handle = None
+        self._joint_view: np.ndarray | None = None
+        self._published_fingerprint: int | None = None
+        # Strong reference on purpose: `is` against a live object is the
+        # only safe identity test (an id() can be recycled after GC).
+        self._last_table: ContingencyTable | None = None
+        self._slab_handles: list = []
+        self._slab_views: list = []
+        self._data_cache: list[dict] = []
 
     def begin_order(
         self,
@@ -235,13 +389,52 @@ class ShardedScanExecutor:
         shards = max(1, min(self.max_workers, len(subsets)))
         bounds = shard_bounds(len(subsets), shards)
         self._active_shards = shards
+        if table is self._last_table:
+            table_ref = ("cached",)
+        else:
+            table_ref = ("table", table)
         self.pool.run(
             _TASK_INIT,
             [
-                (table, order, constraints, priors, tuple(subsets[a:b]))
+                (table_ref, order, constraints, priors, tuple(subsets[a:b]))
                 for a, b in bounds
             ],
         )
+        self._last_table = table
+        # _published_fingerprint deliberately survives order boundaries:
+        # when nothing was adopted at the previous order the model (and
+        # its joint segment) is unchanged, so the next order's first scan
+        # skips the republish too.
+        if self.transport == "shm":
+            self._begin_order_shm(table, [subsets[a:b] for a, b in bounds])
+
+    def _begin_order_shm(self, table: ContingencyTable, shard_subsets) -> None:
+        """Acquire per-shard output slabs sized to the order's shards.
+
+        A slab holds a shard's six float columns laid out back to back;
+        the cell-count upper bound (every marginal cell of every shard
+        subset — candidates can only be fewer) sizes it once per order.
+        """
+        self._release_slabs()
+        schema = table.schema
+        for subsets in shard_subsets:
+            cells = 0
+            for names in subsets:
+                size = 1
+                for name in names:
+                    size *= schema.attribute(name).cardinality
+                cells += size
+            floats = cells * 6
+            if floats * 8 >= self.result_threshold_bytes:
+                handle, view = self._tensor_pool.acquire(
+                    (floats,), np.float64
+                )
+                self._slab_handles.append(handle)
+                self._slab_views.append(view)
+            else:
+                self._slab_handles.append(None)
+                self._slab_views.append(None)
+            self._data_cache.append({})
 
     def scan(
         self, model: MaxEntModel
@@ -256,15 +449,30 @@ class ShardedScanExecutor:
         """
         if self._active_shards == 0:
             raise ParallelError("no active order; call begin_order first")
-        joint = np.ascontiguousarray(model.joint())
-        replies = self.pool.run(
-            _TASK_SCAN, [(joint,)] * self._active_shards
-        )
-        shard_columns = [columns for columns, _best in replies]
+        if self.transport == "shm":
+            replies = self._dispatch_scan_shm(model)
+            shard_columns = self._decode_shm_replies(replies)
+            merged = [(columns, reply[2]) for columns, reply in
+                      zip(shard_columns, replies)]
+        else:
+            joint = np.ascontiguousarray(model.joint())
+            self.counters.broadcasts_total += 1
+            self.counters.bytes_pickled += (
+                joint.nbytes * self._active_shards
+            )
+            merged = self.pool.run(
+                _TASK_SCAN, [(joint,)] * self._active_shards
+            )
+            shard_columns = [columns for columns, _best in merged]
+            self.counters.bytes_pickled += 8 * 6 * sum(
+                len(subset_columns[1])
+                for columns in shard_columns
+                for subset_columns in columns
+            )
         best_shard = None
         best_index = None
         best_delta = 0.0
-        for shard, (columns, best) in enumerate(replies):
+        for shard, (_columns, best) in enumerate(merged):
             if best is None:
                 continue
             index, delta = best
@@ -278,6 +486,96 @@ class ShardedScanExecutor:
             else None
         )
         return LazyScanTests(shard_columns), chosen
+
+    def _dispatch_scan_shm(self, model: MaxEntModel) -> list:
+        """Publish the joint (fingerprint-amortized) and run the shard scans."""
+        counters = self.counters
+        fingerprint = model.fingerprint()
+        counters.broadcasts_total += 1
+        if (
+            self._joint_handle is not None
+            and fingerprint == self._published_fingerprint
+        ):
+            # Same model since the last scan: the segment already holds
+            # this exact joint — skip materialization and the copy.
+            counters.broadcasts_skipped += 1
+        else:
+            joint = np.ascontiguousarray(model.joint())
+            if (
+                self._joint_handle is not None
+                and self._joint_handle.shape == joint.shape
+                and self._joint_handle.dtype == joint.dtype.str
+            ):
+                self._joint_view[...] = joint
+                self._joint_handle = self._tensor_pool.restamp(
+                    self._joint_handle
+                )
+            else:
+                if self._joint_handle is not None:
+                    self._tensor_pool.release(self._joint_handle)
+                self._joint_handle, self._joint_view = (
+                    self._tensor_pool.acquire(joint.shape, joint.dtype)
+                )
+                self._joint_view[...] = joint
+            self._published_fingerprint = fingerprint
+            counters.bytes_shared += joint.nbytes
+        return self.pool.run(
+            _TASK_SCAN_SHM,
+            [
+                (self._joint_handle, self._slab_handles[shard])
+                for shard in range(self._active_shards)
+            ],
+        )
+
+    def _decode_shm_replies(self, replies: list) -> list:
+        """Rebuild per-shard columnar results from slabs and metadata.
+
+        Float columns are sliced out of one private copy of the slab's
+        used region (the slab itself is rewritten next scan; LazyScanTests
+        may be read long after), data-side columns come from the reply or
+        from the per-shard version cache.
+        """
+        counters = self.counters
+        shard_columns = []
+        for shard, (meta, block, _best, attach_ns) in enumerate(replies):
+            counters.attach_ns += attach_ns
+            floats_used = 6 * sum(entry[-1] for entry in meta)
+            if block is None:
+                block = self._slab_views[shard][:floats_used].copy()
+                counters.bytes_shared += floats_used * 8
+            else:
+                counters.bytes_pickled += block.nbytes
+            cache = self._data_cache[shard]
+            columns = []
+            offset = 0
+            for entry in meta:
+                if entry[0] == "data":
+                    (_kind, names, candidate_values, observed, determined,
+                     feasible, version, count) = entry
+                    cache[names] = (
+                        version, candidate_values, observed, determined,
+                        feasible,
+                    )
+                else:
+                    _kind, names, version, count = entry
+                    cached = cache.get(names)
+                    if cached is None or cached[0] != version:
+                        raise ParallelError(
+                            f"shard {shard} referenced data columns "
+                            f"{names}@{version} the master does not hold"
+                        )
+                    (_version, candidate_values, observed, determined,
+                     feasible) = cached
+                floats = []
+                for _ in range(6):
+                    floats.append(block[offset : offset + count])
+                    offset += count
+                columns.append(
+                    (names, candidate_values, observed, *floats,
+                     determined, feasible)
+                )
+            shard_columns.append(columns)
+        return shard_columns
 
     def notify_adopted(self, constraint: CellConstraint) -> None:
         """Sync an adoption into every worker's constraint copy."""
@@ -294,9 +592,28 @@ class ShardedScanExecutor:
         if self._active_shards and not self.pool.closed:
             self.pool.run(_TASK_END, [()] * self._active_shards)
         self._active_shards = 0
+        self._release_slabs()
+
+    def _release_slabs(self) -> None:
+        if self._tensor_pool is not None and not self._tensor_pool.closed:
+            for handle in self._slab_handles:
+                if handle is not None:
+                    self._tensor_pool.release(handle)
+        self._slab_handles = []
+        self._slab_views = []
+        self._data_cache = []
 
     def close(self) -> None:
         self._active_shards = 0
+        self._slab_handles = []
+        self._slab_views = []
+        self._data_cache = []
+        self._joint_handle = None
+        self._joint_view = None
+        self._published_fingerprint = None
+        self._last_table = None
+        if self._tensor_pool is not None:
+            self._tensor_pool.close()
         self.pool.close()
 
     def __enter__(self) -> "ShardedScanExecutor":

@@ -1,0 +1,520 @@
+"""Zero-copy shared-memory transport for the parallel subsystem.
+
+PR 5's worker pool ships every payload through a pipe: the model joint is
+pickled once per worker per scan, the contingency table once per order per
+worker, and columnar scan results come back the same way.  That is why the
+committed bench trajectory shows the parallel paths *slower* than serial
+until warm — the cold path is dominated by serializing ~joint-sized byte
+blobs that both sides already hold as dense float64 tensors.
+
+This module is the transport seam that kills that pessimization:
+
+- :class:`SharedTensorPool` (master side) manages
+  ``multiprocessing.shared_memory`` segments with a small free list keyed
+  by ``(shape, dtype)``, so repeated broadcasts of same-shaped tensors
+  reuse one mapped segment instead of allocating (let alone pickling)
+  per scan.  Every segment is created — and eventually unlinked — by the
+  master, so a worker death can never leak a segment: cleanup runs on
+  pool close, on garbage collection, and from an ``atexit`` hook.
+- :class:`SharedTensorHandle` is what actually crosses the pipe: a
+  ``(name, shape, dtype, generation)`` tuple a few dozen bytes long.
+- :class:`SegmentAttachments` (worker side) caches attachments by segment
+  name and returns read-only zero-copy numpy views, timing each first
+  attach (``attach_ns``) for the transport instrumentation.
+- :class:`TransportCounters` is that instrumentation: payload bytes moved
+  through pickling vs shared memory, broadcasts skipped by fingerprint
+  amortization, attach time.
+- :func:`pack_model` / :func:`unpack_model` flatten a
+  :class:`~repro.maxent.model.MaxEntModel`'s factors into one float64
+  block (plus a tiny layout description) so the query evaluator can ship
+  model state through a shared segment instead of pickling the model on
+  every rebroadcast.
+
+**Bit-identity.**  Shared views expose the exact float64 bytes the master
+wrote — no encode/decode step exists that could perturb a ULP — so kernels
+fed from a shared segment compute byte-for-byte the same results as
+kernels fed the master's own arrays.  The property suites in
+``tests/parallel`` run under both transports to enforce this.
+
+Transport selection: ``REPRO_PARALLEL_TRANSPORT=pipe|shm|auto`` (default
+``auto`` = shm where ``multiprocessing.shared_memory`` works — e.g. a
+mounted ``/dev/shm`` on Linux — else pipe), overridable per executor via
+the ``transport=`` parameter.  The pipe transport remains fully supported
+for platforms without usable shared memory.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+import weakref
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.exceptions import ParallelError
+from repro.maxent.model import MaxEntModel
+
+__all__ = [
+    "SegmentAttachments",
+    "SharedTensorHandle",
+    "SharedTensorPool",
+    "TRANSPORT_ENV_VAR",
+    "TRANSPORTS",
+    "TransportCounters",
+    "model_payload_bytes",
+    "pack_model",
+    "resolve_transport",
+    "shm_available",
+    "unpack_model",
+]
+
+#: Transports an executor can run on.  ``auto`` (the selection default,
+#: not itself a transport) resolves to shm where available, else pipe.
+TRANSPORTS = ("pipe", "shm")
+TRANSPORT_ENV_VAR = "REPRO_PARALLEL_TRANSPORT"
+
+_shm_probe: bool | None = None
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` actually works here.
+
+    Probed once per process by creating (and immediately unlinking) a
+    tiny segment — an import alone is not enough: a platform may ship the
+    module but lack a usable backing filesystem (no ``/dev/shm``, locked
+    down containers), which surfaces as ``OSError`` on create.
+    """
+    global _shm_probe
+    if _shm_probe is None:
+        try:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(create=True, size=16)
+            segment.close()
+            segment.unlink()
+            _shm_probe = True
+        except Exception:
+            _shm_probe = False
+    return _shm_probe
+
+
+def resolve_transport(transport: str | None = None) -> str:
+    """Resolve a transport choice to ``"pipe"`` or ``"shm"``.
+
+    Precedence: the explicit ``transport`` argument, then the
+    ``REPRO_PARALLEL_TRANSPORT`` environment variable, then ``auto``.
+    ``auto`` picks shm when :func:`shm_available`, else pipe; an explicit
+    ``shm`` on a platform without shared memory is an error rather than a
+    silent downgrade.
+    """
+    choice = transport or os.environ.get(TRANSPORT_ENV_VAR) or "auto"
+    choice = choice.strip().lower()
+    if choice not in (*TRANSPORTS, "auto"):
+        raise ParallelError(
+            f"unknown parallel transport {choice!r}; choose one of "
+            f"{(*TRANSPORTS, 'auto')}"
+        )
+    if choice == "auto":
+        return "shm" if shm_available() else "pipe"
+    if choice == "shm" and not shm_available():
+        raise ParallelError(
+            "shm transport requested but multiprocessing.shared_memory is "
+            "not usable on this platform; set "
+            f"{TRANSPORT_ENV_VAR}=pipe (or auto)"
+        )
+    return choice
+
+
+@dataclass(frozen=True)
+class SharedTensorHandle:
+    """What crosses the pipe instead of a tensor: name, layout, generation.
+
+    ``generation`` is a pool-wide monotonic counter stamped at publish
+    time; it distinguishes successive payloads that reuse one segment
+    (the whole point of the free list), so receivers and tests can assert
+    they are reading the broadcast they were told about.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    generation: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= int(dim)
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass
+class TransportCounters:
+    """Payload accounting of one transport endpoint.
+
+    ``bytes_pickled`` / ``bytes_shared`` count tensor-payload bytes moved
+    through the pipe vs through shared segments (array bytes — the pickle
+    framing around them is noise at these sizes).  ``broadcasts_skipped``
+    counts rebroadcasts avoided because the model fingerprint had not
+    changed; ``attach_ns`` is cumulative worker-side segment attach time.
+    """
+
+    bytes_pickled: int = 0
+    bytes_shared: int = 0
+    broadcasts_total: int = 0
+    broadcasts_skipped: int = 0
+    attach_ns: int = 0
+
+    def snapshot(self) -> "TransportCounters":
+        return replace(self)
+
+    def delta(self, earlier: "TransportCounters") -> "TransportCounters":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return TransportCounters(
+            bytes_pickled=self.bytes_pickled - earlier.bytes_pickled,
+            bytes_shared=self.bytes_shared - earlier.bytes_shared,
+            broadcasts_total=self.broadcasts_total - earlier.broadcasts_total,
+            broadcasts_skipped=(
+                self.broadcasts_skipped - earlier.broadcasts_skipped
+            ),
+            attach_ns=self.attach_ns - earlier.attach_ns,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "bytes_pickled": self.bytes_pickled,
+            "bytes_shared": self.bytes_shared,
+            "broadcasts_total": self.broadcasts_total,
+            "broadcasts_skipped": self.broadcasts_skipped,
+            "attach_ns": self.attach_ns,
+        }
+
+
+#: Pools still alive, closed as a last resort from ``atexit`` so an
+#: interpreter exit can never leave named segments behind (the POSIX
+#: names outlive the process; the mappings do not).
+_LIVE_POOLS: "weakref.WeakSet[SharedTensorPool]" = weakref.WeakSet()
+
+
+def _close_live_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_pools)
+
+
+class SharedTensorPool:
+    """Master-side shared-memory segments with a ``(shape, dtype)`` free list.
+
+    All segments are created here and unlinked here — workers only ever
+    attach — which is what makes cleanup guaranteeable: :meth:`close`
+    (idempotent; also run by ``__del__`` and the module ``atexit`` hook)
+    unlinks every segment the pool ever created, whether currently free
+    or in use, so no combination of worker death, executor abandonment,
+    or interpreter shutdown leaks a ``/dev/shm`` entry.
+
+    :meth:`acquire` hands out an uninitialized segment (reusing an exact
+    ``(shape, dtype)`` match from the free list when one exists) together
+    with a writable master-side view; :meth:`publish` is acquire + copy.
+    :meth:`release` returns a segment to the free list for the next
+    same-shaped broadcast — the reuse that amortizes repeated joint
+    publishes down to one mapped segment per shape.
+    """
+
+    def __init__(self):
+        self._segments: dict = {}  # name -> SharedMemory (everything owned)
+        self._free: dict[tuple, list[str]] = {}
+        self._in_use: dict[str, tuple] = {}
+        self._generation = 0
+        self._closed = False
+        _LIVE_POOLS.add(self)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of every live segment (free or in use) — for leak tests."""
+        return tuple(self._segments)
+
+    def next_generation(self) -> int:
+        self._generation += 1
+        return self._generation
+
+    def acquire(
+        self, shape, dtype
+    ) -> tuple[SharedTensorHandle, np.ndarray]:
+        """An owned segment for ``(shape, dtype)`` plus a writable view.
+
+        Reuses a free exact-match segment when one exists; otherwise maps
+        a new one.  The returned view aliases the shared bytes — writes
+        through it are what attached workers read.
+        """
+        if self._closed:
+            raise ParallelError("shared tensor pool is closed")
+        key = (tuple(int(d) for d in shape), np.dtype(dtype).str)
+        free = self._free.get(key)
+        if free:
+            name = free.pop()
+        else:
+            from multiprocessing import shared_memory
+
+            nbytes = max(1, int(np.prod(key[0])) * np.dtype(dtype).itemsize)
+            segment = shared_memory.SharedMemory(create=True, size=nbytes)
+            name = segment.name
+            self._segments[name] = segment
+        self._in_use[name] = key
+        handle = SharedTensorHandle(
+            name=name,
+            shape=key[0],
+            dtype=key[1],
+            generation=self.next_generation(),
+        )
+        view = np.ndarray(
+            key[0], dtype=key[1], buffer=self._segments[name].buf
+        )
+        return handle, view
+
+    def publish(self, array: np.ndarray) -> SharedTensorHandle:
+        """Copy ``array`` into an owned segment; returns the handle."""
+        array = np.ascontiguousarray(array)
+        handle, view = self.acquire(array.shape, array.dtype)
+        view[...] = array
+        return handle
+
+    def restamp(self, handle: SharedTensorHandle) -> SharedTensorHandle:
+        """A fresh-generation handle for a segment rewritten in place."""
+        return replace(handle, generation=self.next_generation())
+
+    def release(self, handle: SharedTensorHandle) -> None:
+        """Return a segment to the free list for same-shape reuse.
+
+        Callers must only release once no worker will read the previous
+        payload again (the executors release at order end / after a
+        synchronous broadcast has returned).
+        """
+        key = self._in_use.pop(handle.name, None)
+        if key is None or self._closed:
+            return
+        self._free.setdefault(key, []).append(handle.name)
+
+    def close(self) -> None:
+        """Close and unlink every owned segment; idempotent.
+
+        Uses plain ``try/except`` throughout (no module-global helpers)
+        so it stays safe when invoked during interpreter shutdown, where
+        other modules may already be torn down.  A ``BufferError`` on
+        ``close`` (a numpy view of the buffer still alive somewhere) does
+        not stop the unlink: the name is removed either way and the
+        mapping itself dies with the process.
+        """
+        self._closed = True
+        segments, self._segments = self._segments, {}
+        self._free = {}
+        self._in_use = {}
+        for segment in segments.values():
+            try:
+                segment.close()
+            except BaseException:
+                pass
+            try:
+                segment.unlink()
+            except BaseException:
+                pass
+
+    def __enter__(self) -> "SharedTensorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except BaseException:
+            pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            f"{len(self._in_use)} in use, "
+            f"{sum(len(v) for v in self._free.values())} free"
+        )
+        return f"SharedTensorPool({state})"
+
+
+class SegmentAttachments:
+    """Worker-side attach cache: one mapping per segment name.
+
+    :meth:`view` returns a read-only zero-copy numpy view of the handle's
+    segment, attaching (and timing the attach) only on first contact with
+    a name — subsequent broadcasts that reuse the segment cost nothing
+    but the ndarray construction.  Reads are ordered by the pool's pipe
+    messages: the master writes the payload *before* dispatching the task
+    that names it, so the view's contents are exactly that generation's.
+
+    Views alias this object's mappings without pinning them (numpy
+    releases its buffer export after construction), so the attachments
+    object must outlive every view it handed out — workers keep theirs
+    in per-worker state for exactly this reason.
+    """
+
+    def __init__(self):
+        self._segments: dict = {}
+        self._attach_ns = 0
+
+    def view(
+        self, handle: SharedTensorHandle, writable: bool = False
+    ) -> np.ndarray:
+        segment = self._segments.get(handle.name)
+        if segment is None:
+            from multiprocessing import shared_memory
+
+            start = time.perf_counter_ns()
+            try:
+                segment = shared_memory.SharedMemory(name=handle.name)
+            except (FileNotFoundError, OSError) as error:
+                raise ParallelError(
+                    f"cannot attach shared segment {handle.name!r}: {error}"
+                ) from None
+            self._attach_ns += time.perf_counter_ns() - start
+            self._segments[handle.name] = segment
+        array = np.ndarray(handle.shape, dtype=handle.dtype, buffer=segment.buf)
+        if not writable:
+            array.flags.writeable = False
+        return array
+
+    def take_attach_ns(self) -> int:
+        """Attach time accumulated since the last take (and reset it)."""
+        elapsed, self._attach_ns = self._attach_ns, 0
+        return elapsed
+
+    def close(self) -> None:
+        """Drop every attachment (mappings close; names are the master's)."""
+        segments, self._segments = self._segments, {}
+        for segment in segments.values():
+            try:
+                segment.close()
+            except BaseException:
+                pass
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except BaseException:
+            pass
+
+
+# -- model packing ----------------------------------------------------------------
+
+
+def _model_layout(model: MaxEntModel) -> dict:
+    """The packing order of a model's factors.
+
+    Cell and table factors keep the model's dict *insertion* order — not a
+    canonical sort — because
+    :meth:`~repro.maxent.model.MaxEntModel.unnormalized` multiplies them
+    in that order and float multiplication does not reassociate: an
+    unpacked model must rebuild its dicts in the master's order or its
+    joint drifts by an ulp.
+    """
+    return {
+        "margins": [
+            (name, int(model.margin_factors[name].shape[0]))
+            for name in model.schema.names
+        ],
+        "cells": list(model.cell_factors),
+        "tables": [
+            (names, tuple(model.table_factors[names].shape))
+            for names in model.table_factors
+        ],
+    }
+
+
+def pack_model(model: MaxEntModel) -> tuple[dict, np.ndarray]:
+    """Flatten a model's factors into ``(layout, float64 block)``.
+
+    The block holds ``a0``, then every margin vector in schema order,
+    then cell factors, then table factor tensors (raveled) — the latter
+    two in the model's own dict order (see :func:`_model_layout`).  The
+    layout is the tiny structural description that crosses the pipe; the
+    block crosses shared memory.  Bit-exact: every float lands in the
+    block unchanged and dict order is preserved, so
+    :func:`unpack_model` rebuilds a model whose joint — not just its
+    :meth:`~repro.maxent.model.MaxEntModel.fingerprint` — is
+    byte-identical to the packed one's.
+    """
+    layout = _model_layout(model)
+    parts: list[np.ndarray] = [np.array([model.a0], dtype=np.float64)]
+    parts.extend(
+        np.asarray(model.margin_factors[name], dtype=np.float64)
+        for name, _length in layout["margins"]
+    )
+    if layout["cells"]:
+        parts.append(
+            np.array(
+                [model.cell_factors[key] for key in layout["cells"]],
+                dtype=np.float64,
+            )
+        )
+    parts.extend(
+        np.asarray(model.table_factors[names], dtype=np.float64).ravel()
+        for names, _shape in layout["tables"]
+    )
+    return layout, np.concatenate(parts)
+
+
+def unpack_model(schema, layout: dict, block: np.ndarray) -> MaxEntModel:
+    """Rebuild the :func:`pack_model` model from a (shared) float block.
+
+    Slices of ``block`` are views; :class:`~repro.maxent.model.MaxEntModel`
+    copies them on construction, so the result owns its memory and stays
+    valid after the segment is rewritten or unlinked.
+    """
+    offset = 1
+    a0 = float(block[0])
+    margin_factors = {}
+    for name, length in layout["margins"]:
+        margin_factors[name] = block[offset : offset + length]
+        offset += length
+    cell_factors = {}
+    for key in layout["cells"]:
+        key = (tuple(key[0]), tuple(key[1]))
+        cell_factors[key] = float(block[offset])
+        offset += 1
+    table_factors = {}
+    for names, shape in layout["tables"]:
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        table_factors[tuple(names)] = np.asarray(
+            block[offset : offset + size]
+        ).reshape(tuple(shape))
+        offset += size
+    if offset != len(block):
+        raise ParallelError(
+            f"model block holds {len(block)} floats but the layout "
+            f"describes {offset}"
+        )
+    return MaxEntModel(
+        schema, margin_factors, cell_factors, a0, table_factors
+    )
+
+
+def model_payload_bytes(model: MaxEntModel) -> int:
+    """Tensor-payload bytes a model broadcast moves (either transport)."""
+    total = 8  # a0
+    for vector in model.margin_factors.values():
+        total += vector.nbytes
+    total += 8 * len(model.cell_factors)
+    for array in model.table_factors.values():
+        total += array.nbytes
+    return total

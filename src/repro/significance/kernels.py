@@ -76,6 +76,9 @@ def tests_from_columns(columns: list[SubsetColumns]) -> list[CellTest]:
 
     This is the same construction loop :meth:`OrderScanKernel.scan` runs,
     applied to the same lists — bit-identity holds by construction.
+    Float columns may arrive as ndarrays (the shared-memory transport
+    keeps them in array form); ``tolist()`` is an exact float64 → float
+    conversion, so the emitted values are bit-identical either way.
     """
     tests: list[CellTest] = []
     for (
@@ -91,6 +94,13 @@ def tests_from_columns(columns: list[SubsetColumns]) -> list[CellTest]:
         determined,
         feasible,
     ) in columns:
+        if isinstance(predicted, np.ndarray):
+            predicted = predicted.tolist()
+            mean = mean.tolist()
+            sd = sd.tolist()
+            num_sd = num_sd.tolist()
+            m1 = m1.tolist()
+            m2 = m2.tolist()
         for i, values in enumerate(candidate_values):
             tests.append(
                 CellTest(
@@ -139,6 +149,11 @@ class SubsetStats:
     #: H2's uniform-encoding term per candidate: ``ln(range + 1)``, or 0
     #: where the cell is determined (Eq 41's ELSE branch).
     h2_range_term: np.ndarray
+    #: Monotonic per-kernel build counter.  Identifies this exact build of
+    #: the data-side columns, so a transport can skip re-shipping them
+    #: when the receiver already holds this version (they change only on
+    #: invalidation, not per scan).
+    version: int = 0
 
 
 @dataclass
@@ -155,6 +170,14 @@ class DiscoveryProfile:
     the engine chose (``"serial"`` kernel, ``"sharded"`` executor, or the
     ``"reference"`` oracle) and the candidate-pool size that drove the
     choice — the audit trail for the serial-vs-sharded auto-selection.
+
+    Sharded orders additionally record what the transport moved:
+    ``bytes_pickled`` / ``bytes_shared`` are tensor-payload bytes shipped
+    through pipes vs shared-memory segments, ``broadcasts_skipped`` counts
+    joint rebroadcasts amortized away by an unchanged model fingerprint,
+    and ``attach_ns`` is cumulative worker-side segment attach time.  The
+    run totals live in the flat fields; ``transports`` keeps the same
+    counters per sharded order.  Rendered by ``repro discover --profile``.
     """
 
     scan_seconds: float = 0.0
@@ -167,10 +190,29 @@ class DiscoveryProfile:
     fit_calls: int = 0
     fit_sweeps: int = 0
     scan_paths: list[dict] = field(default_factory=list)
+    bytes_pickled: int = 0
+    bytes_shared: int = 0
+    broadcasts_total: int = 0
+    broadcasts_skipped: int = 0
+    attach_ns: int = 0
+    transports: list[dict] = field(default_factory=list)
 
     def record_scan_path(self, order: int, path: str, cells: int) -> None:
         self.scan_paths.append(
             {"order": order, "path": path, "cells": cells}
+        )
+
+    def add_transport(
+        self, order: int, transport: str, counters: dict
+    ) -> None:
+        """Fold one sharded order's transport counters into the profile."""
+        self.bytes_pickled += counters.get("bytes_pickled", 0)
+        self.bytes_shared += counters.get("bytes_shared", 0)
+        self.broadcasts_total += counters.get("broadcasts_total", 0)
+        self.broadcasts_skipped += counters.get("broadcasts_skipped", 0)
+        self.attach_ns += counters.get("attach_ns", 0)
+        self.transports.append(
+            {"order": order, "transport": transport, **counters}
         )
 
     def add_scan(self, seconds: float, cells: int) -> None:
@@ -262,6 +304,7 @@ class OrderScanKernel:
             self.subsets = subsets
         self._num_cells_at_order = table.num_cells_of_order(order)
         self._stats: dict[tuple[str, ...], SubsetStats] = {}
+        self._stats_builds = 0
         # Exposed instrumentation (aggregated into DiscoveryProfile by the
         # engine; also readable directly after standalone scans).
         self.scan_calls = 0
@@ -294,6 +337,13 @@ class OrderScanKernel:
             if contained <= set(subset):
                 self._stats.pop(subset, None)
 
+    def stats_version(self, names: tuple[str, ...]) -> int:
+        """Version of the cached data-side statistics for ``names`` (0 when
+        not built).  Bumps exactly when the columns' data-side content can
+        have changed, so transports key re-ship decisions on it."""
+        stats = self._stats.get(names)
+        return 0 if stats is None else stats.version
+
     # -- scanning -----------------------------------------------------------------
 
     def scan(
@@ -319,7 +369,10 @@ class OrderScanKernel:
         return tests
 
     def scan_columns(
-        self, model: MaxEntModel | None, joint: np.ndarray | None = None
+        self,
+        model: MaxEntModel | None,
+        joint: np.ndarray | None = None,
+        float_arrays: bool = False,
     ) -> list[SubsetColumns]:
         """The scan in columnar form: one tuple of lists per subset.
 
@@ -329,6 +382,12 @@ class OrderScanKernel:
         (pickling lists of primitives is several times cheaper than
         pickling dataclass instances) and materializes lazily via
         :func:`tests_from_columns`.
+
+        ``float_arrays=True`` keeps the six float columns as float64
+        ndarrays instead of converting them to lists — the form the
+        shared-memory transport writes into output slabs without ever
+        constructing per-cell Python floats.  ``tolist()`` is exact, so
+        both forms decode to bit-identical CellTests.
         """
         start = time.perf_counter()
         constraints = self.constraints
@@ -348,6 +407,8 @@ class OrderScanKernel:
             stats = self._stats.get(names)
             if stats is None:
                 stats = self._build_stats(names)
+                self._stats_builds += 1
+                stats.version = self._stats_builds
                 self._stats[names] = stats
             if not stats.candidate_values:
                 continue
@@ -383,17 +444,23 @@ class OrderScanKernel:
                 )
 
             cells += len(stats.candidate_values)
-            columns.append(
-                (
-                    names,
-                    stats.candidate_values,
-                    stats.observed_list,
+            if float_arrays:
+                floats = (predicted, mean, sd, num_sd, m1, m2)
+            else:
+                floats = (
                     predicted.tolist(),
                     mean.tolist(),
                     sd.tolist(),
                     num_sd.tolist(),
                     m1.tolist(),
                     m2.tolist(),
+                )
+            columns.append(
+                (
+                    names,
+                    stats.candidate_values,
+                    stats.observed_list,
+                    *floats,
                     stats.determined_list,
                     stats.feasible_list,
                 )

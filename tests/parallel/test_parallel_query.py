@@ -9,9 +9,21 @@ from repro.api.session import QuerySession
 from repro.core.knowledge_base import ProbabilisticKnowledgeBase
 from repro.discovery.engine import discover
 from repro.exceptions import ParallelError, QueryError, ReproError
+from repro.parallel.pool import WorkerPool
 from repro.parallel.query import ParallelQueryEvaluator
+from repro.parallel.shm import shm_available
 
 HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+TRANSPORTS = [
+    "pipe",
+    pytest.param(
+        "shm",
+        marks=pytest.mark.skipif(
+            not shm_available(), reason="shared memory unavailable"
+        ),
+    ),
+]
 
 
 @pytest.fixture(scope="module")
@@ -64,6 +76,50 @@ class TestParallelBatchEquivalence:
     def test_session_rejects_bad_worker_count(self, model):
         with pytest.raises(QueryError):
             QuerySession(model, max_workers=0)
+
+
+class TestTransportEquivalence:
+    """Model broadcasts through shared memory answer exactly like pipes.
+
+    The shm rows ship the model as a packed float block through a shared
+    segment and rebuild it worker-side; any repack drift (a reordered
+    factor product, a truncated float) shows up as a !=, since query
+    results are compared exactly, not approximately.
+    """
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_batches_match_serial_exactly(self, model, queries, transport):
+        serial = QuerySession(model).batch(queries)
+        with ParallelQueryEvaluator(
+            model, max_workers=2, transport=transport
+        ) as evaluator:
+            assert evaluator.batch(queries) == serial
+            # Warm workers (amortized broadcast) must agree too.
+            assert evaluator.batch(queries) == serial
+
+    def test_unchanged_model_skips_rebroadcast(self, model):
+        with ParallelQueryEvaluator(
+            model, pool=WorkerPool(2, inline=True), transport="shm"
+        ) as evaluator:
+            evaluator.batch(["CANCER=yes"])
+            shared_after_init = evaluator.counters.bytes_shared
+            assert shared_after_init > 0
+            evaluator.batch(["CANCER=no"])
+            assert evaluator.counters.broadcasts_total == 2
+            assert evaluator.counters.broadcasts_skipped == 1
+            # Nothing was re-shipped for the second batch.
+            assert evaluator.counters.bytes_shared == shared_after_init
+            evaluator.set_model(model.copy())
+            evaluator.batch(["CANCER=yes"])
+            assert evaluator.counters.bytes_shared > shared_after_init
+
+    def test_pipe_counts_pickled_payloads(self, model):
+        with ParallelQueryEvaluator(
+            model, pool=WorkerPool(2, inline=True), transport="pipe"
+        ) as evaluator:
+            evaluator.batch(["CANCER=yes"])
+            assert evaluator.counters.bytes_pickled > 0
+            assert evaluator.counters.bytes_shared == 0
 
 
 class TestFailureSurfacing:

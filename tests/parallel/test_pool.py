@@ -180,3 +180,61 @@ class TestProcessPool:
             assert pool.broadcast(ECHO, 5) == [5, 5]
             pool.run(PUT, [("k", "w0"), ("k", "w1")])
             assert pool.run(GET, [("k",), ("k",)]) == ["w0", "w1"]
+
+
+class TestInterpreterShutdown:
+    """Abandoned pools must die quietly when the interpreter exits.
+
+    ``WorkerPool.__del__`` (and the module atexit hook backing it) runs
+    during shutdown, when module globals other finalizers rely on may
+    already be None — the regression these subprocess tests pin is an
+    ignored-exception traceback on stderr from exactly that window.
+    """
+
+    def _exit_cleanly(self, code: str) -> None:
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        tests = str(Path(__file__).resolve().parent)
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join([src, tests]))
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Traceback" not in result.stderr, result.stderr
+        assert "Exception ignored" not in result.stderr, result.stderr
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_running_pool_abandoned_at_exit(self):
+        self._exit_cleanly(
+            "from repro.parallel.pool import WorkerPool\n"
+            "pool = WorkerPool(2)\n"  # module global: None'd at shutdown
+            "assert pool.run('_tasks:echo', [(1,), (2,)]) == [1, 2]\n"
+        )
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork start method unavailable")
+    def test_pool_held_only_by_cycle_at_exit(self):
+        # A pool kept alive by a reference cycle is torn down by the
+        # shutdown GC pass, the worst-cased timing for __del__.
+        self._exit_cleanly(
+            "from repro.parallel.pool import WorkerPool\n"
+            "pool = WorkerPool(2)\n"
+            "pool.run('_tasks:put', [('k', 1), ('k', 2)])\n"
+            "cycle = {'pool': pool}\n"
+            "cycle['self'] = cycle\n"
+            "del pool, cycle\n"
+        )
+
+    def test_inline_pool_abandoned_at_exit(self):
+        self._exit_cleanly(
+            "from repro.parallel.pool import WorkerPool\n"
+            "pool = WorkerPool(3, inline=True)\n"
+            "pool.run('_tasks:echo', [(1,), (2,), (3,)])\n"
+        )

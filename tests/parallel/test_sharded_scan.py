@@ -10,6 +10,9 @@ At the engine level that makes a parallel discovery run's adopted
 constraints and fitted marginals bit-identical to a serial run's.
 """
 
+import pickle
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -25,13 +28,26 @@ from repro.maxent.ipf import fit_ipf
 from repro.maxent.model import MaxEntModel
 from repro.parallel.pool import WorkerPool, shard_bounds
 from repro.parallel.scan import ShardedScanExecutor, scan_order_sharded
+from repro.parallel.shm import shm_available
 from repro.significance.kernels import OrderScanKernel
+from repro.significance.mml import most_significant
 
 SETTINGS = settings(
     max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
+
+#: Both executor transports; shm skipped where the platform lacks it.
+TRANSPORTS = [
+    "pipe",
+    pytest.param(
+        "shm",
+        marks=pytest.mark.skipif(
+            not shm_available(), reason="shared memory unavailable"
+        ),
+    ),
+]
 
 
 @st.composite
@@ -159,6 +175,158 @@ class TestShardedScanBitIdentity:
             table, state.model, 2, state.constraints, shards=shards
         )
         assert sharded == serial
+
+
+class TestTransportBitIdentity:
+    """Both transports reproduce the serial scan, bit for bit.
+
+    The pipe rows re-run the executor suite's core property with pickling
+    payloads; the shm rows feed the kernels zero-copy shared views and
+    return float columns through shared slabs (``result_threshold_bytes=0``
+    forces slabs even at toy sizes), so any encode/decode drift — a single
+    ulp anywhere in the m1/m2/moment floats — fails these.
+    """
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    @SETTINGS
+    @given(world=scan_worlds())
+    def test_executor_matches_serial(self, transport, world):
+        table, constraints, model = world
+        executor = ShardedScanExecutor(
+            pool=WorkerPool(3, inline=True),
+            transport=transport,
+            result_threshold_bytes=0,
+        )
+        try:
+            for order in range(2, len(table.schema) + 1):
+                try:
+                    serial = OrderScanKernel(
+                        table, order, constraints
+                    ).scan(model)
+                except DataError:
+                    continue
+                executor.begin_order(table, order, constraints, None)
+                tests, chosen = executor.scan(model)
+                executor.end_order()
+                assert tests == serial
+                assert chosen == most_significant(list(serial))
+        finally:
+            executor.close()
+
+    def test_rescan_same_model_skips_republish(self, table):
+        constraints = ConstraintSet.first_order(table)
+        model = MaxEntModel.independent(
+            table.schema,
+            {
+                name: table.first_order_probabilities(name)
+                for name in table.schema.names
+            },
+        )
+        with ShardedScanExecutor(
+            pool=WorkerPool(2, inline=True), transport="shm"
+        ) as executor:
+            executor.begin_order(table, 2, constraints, None)
+            first, _ = executor.scan(model)
+            second, _ = executor.scan(model)
+            executor.end_order()
+            assert executor.counters.broadcasts_total == 2
+            assert executor.counters.broadcasts_skipped == 1
+            # The skipped rebroadcast serves the same segment contents.
+            assert first == second
+            # A *changed* model republishes: same segment, fresh payload.
+            shifted = MaxEntModel.independent(
+                table.schema,
+                {
+                    name: np.roll(
+                        table.first_order_probabilities(name), 1
+                    )
+                    for name in table.schema.names
+                },
+            )
+            executor.begin_order(table, 2, constraints, None)
+            third, _ = executor.scan(shifted)
+            assert executor.counters.broadcasts_skipped == 1
+            serial = OrderScanKernel(table, 2, constraints).scan(shifted)
+            assert third == serial
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_env_var_selects_transport(self, transport, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_TRANSPORT", transport)
+        with ShardedScanExecutor(
+            pool=WorkerPool(2, inline=True)
+        ) as executor:
+            assert executor.transport == transport
+
+
+class TestLazyScanTests:
+    """The lazy CellTest list: decode-once, and decodable after close."""
+
+    def _scan(self, table, executor_kwargs=None):
+        constraints = ConstraintSet.first_order(table)
+        model = MaxEntModel.independent(
+            table.schema,
+            {
+                name: table.first_order_probabilities(name)
+                for name in table.schema.names
+            },
+        )
+        executor = ShardedScanExecutor(
+            pool=WorkerPool(2, inline=True), **(executor_kwargs or {})
+        )
+        executor.begin_order(table, 2, constraints, None)
+        tests, _chosen = executor.scan(model)
+        executor.end_order()
+        serial = OrderScanKernel(table, 2, constraints).scan(model)
+        return executor, tests, serial
+
+    def test_concurrent_readers_materialize_once(self, table, monkeypatch):
+        executor, tests, serial = self._scan(table)
+        executor.close()
+        from repro.parallel import scan as scan_module
+
+        decodes = []
+        real = scan_module.tests_from_columns
+
+        def counting(columns):
+            decodes.append(threading.get_ident())
+            return real(columns)
+
+        monkeypatch.setattr(scan_module, "tests_from_columns", counting)
+        shard_count = len(tests._shards)
+        barrier = threading.Barrier(8)
+        results = []
+
+        def read():
+            barrier.wait()
+            results.append(list(tests))
+
+        threads = [threading.Thread(target=read) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # One decode pass (one call per shard), all by the same winner.
+        assert len(decodes) == shard_count
+        assert len(set(decodes)) == 1
+        assert all(result == serial for result in results)
+        assert tests.materialized
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_decodes_after_executor_closed(self, table, transport):
+        # Column payloads are retained copies, not shared-segment views:
+        # a trace read long after the pool (and its segments) are gone
+        # must still decode — equality, indexing, and pickling included.
+        executor, tests, serial = self._scan(
+            table,
+            {"transport": transport, "result_threshold_bytes": 0},
+        )
+        executor.close()
+        assert not tests.materialized
+        assert tests == serial
+        assert tests[0] == serial[0]
+        revived = pickle.loads(pickle.dumps(tests))
+        assert revived == serial
+        assert len(revived) == len(serial)
 
 
 class TestShardedEngineEquivalence:
