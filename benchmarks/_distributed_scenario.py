@@ -1,0 +1,174 @@
+"""The distributed (TCP-worker) scan/query scenario shared between
+``bench_distributed.py`` and the ``run_all.py`` trajectory emitter — one
+definition of the workload and the daemon lifecycle, so recorded
+distributed speedups always measure exactly what CI asserts.
+
+The workload is the same wide order-3 world as ``_parallel_scenario``
+(see that module for why the paper-sized survey is below round-trip
+cost); what changes is the transport: shards run on ``repro worker``
+daemons — real separate processes reached over localhost TCP — instead
+of fork/spawn children, so the measurement includes the wire protocol's
+framing, pickling, and the fingerprint-amortized joint/model broadcasts.
+"""
+
+import contextlib
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from _parallel_scenario import (
+    ORDER,
+    WORKERS,
+    best_of,
+    build_world,
+    num_queries,
+    query_traffic,
+    timing_repeats,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Enforced floors (full size, >= WORKERS cpus): warm distributed scan
+#: and batch query vs the serial in-process paths.  Lower than the shm
+#: floors — every joint broadcast and result merge crosses a socket —
+#: but localhost TCP must still clearly beat serial on the wide world.
+MIN_DISTRIBUTED_SPEEDUP = 1.3
+
+
+@contextlib.contextmanager
+def worker_daemons(count: int):
+    """Spawn ``count`` ``repro worker`` daemons on localhost ephemeral
+    ports; yields their ``HOST:PORT`` addresses and tears them down
+    (terminate, then kill) on exit."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    processes = []
+    addresses = []
+    try:
+        for _ in range(count):
+            process = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cli",
+                    "worker",
+                    "--listen",
+                    "127.0.0.1:0",
+                ],
+                stdout=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            processes.append(process)
+            # serve() prints "repro worker listening on HOST:PORT" once
+            # the listener is bound, so readline doubles as readiness.
+            line = process.stdout.readline().strip()
+            if not line:
+                raise RuntimeError(
+                    "worker daemon exited before announcing its address"
+                )
+            addresses.append(line.rsplit(" ", 1)[-1])
+        yield tuple(addresses)
+    finally:
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+            process.stdout.close()
+
+
+def measure_distributed(smoke: bool) -> dict:
+    """Distributed-transport trajectory metrics (bit-identity always
+    checked; ratios recorded, asserted only under the CPU gate).
+
+    Serial in-process scan/batch vs the same workload sharded across
+    ``WORKERS`` localhost ``repro worker`` daemons, plus the wire
+    ledger: bytes on the wire per warm scan (the broadcast-amortization
+    contract made measurable) and round trips.
+    """
+    from repro.api.session import QuerySession
+    from repro.parallel.scan import ShardedScanExecutor
+    from repro.significance.kernels import OrderScanKernel
+    from repro.significance.mml import most_significant
+
+    repeats = timing_repeats(smoke)
+    table, constraints, model = build_world(smoke)
+
+    serial_kernel = OrderScanKernel(table, ORDER, constraints)
+    serial_tests = serial_kernel.scan(model)
+    scan_serial_warm = best_of(lambda: serial_kernel.scan(model), repeats)
+
+    with worker_daemons(WORKERS) as addresses:
+        with ShardedScanExecutor(worker_addresses=addresses) as executor:
+            executor.begin_order(table, ORDER, constraints, None)
+            distributed_tests, distributed_best = executor.scan(model)
+            if distributed_tests != serial_tests or distributed_best != (
+                most_significant(serial_tests)
+            ):
+                raise AssertionError(
+                    "distributed scan diverged from the serial kernel"
+                )
+
+            def distributed_cold():
+                executor.begin_order(table, ORDER, constraints, None)
+                executor.scan(model)
+
+            scan_cold = best_of(distributed_cold, repeats)
+            executor.begin_order(table, ORDER, constraints, None)
+            executor.scan(model)
+            scan_warm = best_of(lambda: executor.scan(model), repeats)
+            # The steady-state wire cost of one more scan: with the joint
+            # fingerprint unchanged this is shard results + cache tokens,
+            # not the joint itself.
+            wire_before = executor.counters.to_dict()["bytes_wire"]
+            executor.scan(model)
+            wire_per_scan = (
+                executor.counters.to_dict()["bytes_wire"] - wire_before
+            )
+            scan_counters = executor.counters.to_dict()
+            executor.end_order()
+            transport = executor.transport
+
+        queries = query_traffic(model.schema, num_queries(smoke))
+        serial_values = QuerySession(model).batch(queries)
+        query_serial = best_of(
+            lambda: QuerySession(model).batch(queries), repeats
+        )
+        with QuerySession(model, worker_addresses=addresses) as session:
+            if session.batch(queries) != serial_values:
+                raise AssertionError(
+                    "distributed batch evaluation diverged from the "
+                    "serial session"
+                )
+            query_warm = best_of(lambda: session.batch(queries), repeats)
+            query_counters = session._parallel.counters.to_dict()
+
+    return {
+        "workers": WORKERS,
+        "cpus": os.cpu_count() or 1,
+        "transport": transport,
+        "candidate_cells": len(serial_tests),
+        "n_queries": len(queries),
+        "scan_serial_warm_ms": 1e3 * scan_serial_warm,
+        "scan_distributed_cold_ms": 1e3 * scan_cold,
+        "scan_distributed_warm_ms": 1e3 * scan_warm,
+        "scan_speedup_cold": scan_serial_warm / scan_cold,
+        "scan_speedup": scan_serial_warm / scan_warm,
+        "wire_bytes_per_scan": wire_per_scan,
+        "scan_bytes_wire": scan_counters["bytes_wire"],
+        "scan_round_trips": scan_counters["round_trips"],
+        "scan_broadcasts_total": scan_counters["broadcasts_total"],
+        "scan_broadcasts_skipped": scan_counters["broadcasts_skipped"],
+        "query_serial_s": query_serial,
+        "query_distributed_s": query_warm,
+        "query_speedup": query_serial / query_warm,
+        "query_bytes_wire": query_counters["bytes_wire"],
+        "query_round_trips": query_counters["round_trips"],
+    }

@@ -1,0 +1,236 @@
+"""Distributed execution over the TCP worker protocol: remote sharded
+scans + remote batch serving, against real ``repro worker`` daemons.
+
+Two workloads from ``_distributed_scenario`` (the wide order-3 world of
+``_parallel_scenario``, sharded across localhost worker daemons instead
+of fork/spawn children):
+
+- **distributed discovery scans**: a serial
+  :class:`~repro.significance.kernels.OrderScanKernel` whole-order scan
+  vs a :class:`~repro.parallel.scan.ShardedScanExecutor` whose shards
+  run on 4 ``repro worker`` daemons over length-prefixed TCP frames.
+  The joint ships once per model fingerprint (``("cached", fp)`` tokens
+  after that), so the warm path's wire cost is shard results, not
+  payload rebroadcast — the benchmark records bytes-on-wire per warm
+  scan to keep that contract measurable.
+- **distributed batch queries**: a serial
+  :class:`~repro.api.session.QuerySession.batch` vs the same batch
+  sharded across 4 remote pinned sessions (packed model broadcast once
+  per fingerprint).
+
+Shape criteria: the distributed scan's merged output — every CellTest
+float and the greedy argmax — equals the serial scan exactly, and
+distributed batch results equal serial results exactly, in input order.
+At full size on a machine with >= 4 CPUs, warm distributed scans and
+batches are at least ``MIN_DISTRIBUTED_SPEEDUP``x the serial paths;
+under ``REPRO_BENCH_SMOKE=1`` (or fewer cores) the equivalences stay
+enforced and the ratios are reported only.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from _distributed_scenario import (
+    MIN_DISTRIBUTED_SPEEDUP,
+    measure_distributed,
+    worker_daemons,
+)
+from _parallel_scenario import (
+    ORDER,
+    WORKERS,
+    best_of,
+    build_world,
+    num_queries,
+    query_traffic,
+    timing_repeats,
+)
+from repro.api.session import QuerySession
+from repro.eval.tables import format_table
+from repro.parallel.scan import ShardedScanExecutor
+from repro.significance.kernels import OrderScanKernel
+from repro.significance.mml import most_significant
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+REPEATS = timing_repeats(SMOKE)
+CPUS = os.cpu_count() or 1
+HAS_PROCESSES = bool(multiprocessing.get_all_start_methods())
+#: Wall-clock floors are only meaningful with real cores behind the
+#: daemons; bit-identity is asserted regardless.
+ENFORCE_RATIOS = not SMOKE and CPUS >= WORKERS
+
+pytestmark = pytest.mark.skipif(
+    not HAS_PROCESSES, reason="no multiprocessing start method available"
+)
+
+
+@pytest.fixture(scope="module")
+def daemons():
+    with worker_daemons(WORKERS) as addresses:
+        yield addresses
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(SMOKE)
+
+
+def test_bench_distributed_scan(daemons, world, write_report):
+    table, constraints, model = world
+
+    serial_kernel = OrderScanKernel(table, ORDER, constraints)
+    serial_tests = serial_kernel.scan(model)
+    serial_best = most_significant(serial_tests)
+
+    with ShardedScanExecutor(worker_addresses=daemons) as executor:
+        assert executor.transport == "tcp"
+        executor.begin_order(table, ORDER, constraints, None)
+        distributed_tests, distributed_best = executor.scan(model)
+
+        # Bit-identity across the wire: every m1/m2/moment float and the
+        # shard-merged argmax equal the serial kernel exactly.
+        assert distributed_tests == serial_tests
+        assert distributed_best == serial_best
+
+        def distributed_cold():
+            executor.begin_order(table, ORDER, constraints, None)
+            executor.scan(model)
+
+        serial_warm_s = best_of(lambda: serial_kernel.scan(model), REPEATS)
+        cold_s = best_of(distributed_cold, REPEATS)
+        executor.begin_order(table, ORDER, constraints, None)
+        executor.scan(model)
+        warm_s = best_of(lambda: executor.scan(model), REPEATS)
+        wire_before = executor.counters.to_dict()["bytes_wire"]
+        executor.scan(model)
+        wire_per_scan = (
+            executor.counters.to_dict()["bytes_wire"] - wire_before
+        )
+        executor.end_order()
+        counters = executor.counters
+
+    warm_speedup = serial_warm_s / warm_s
+    rows = [
+        ["serial kernel, warm", f"{1e3 * serial_warm_s:.2f}", "1.0x"],
+        [
+            f"tcp x{WORKERS}, cold",
+            f"{1e3 * cold_s:.2f}",
+            f"{serial_warm_s / cold_s:.1f}x",
+        ],
+        [
+            f"tcp x{WORKERS}, warm",
+            f"{1e3 * warm_s:.2f}",
+            f"{warm_speedup:.1f}x",
+        ],
+    ]
+    write_report(
+        "distributed_scan.txt",
+        f"DISTRIBUTED ORDER-{ORDER} SCAN ({len(serial_tests)} candidate "
+        f"cells, {WORKERS} tcp workers, {CPUS} cpus, best of {REPEATS})\n\n"
+        + format_table(["scan path", "per-order scan (ms)", "speedup"], rows)
+        + f"\n\nwire: {counters.bytes_wire} B total, "
+        f"{wire_per_scan} B per warm scan, "
+        f"{counters.round_trips} round trips, "
+        f"{counters.broadcasts_skipped}/{counters.broadcasts_total} "
+        f"joint broadcasts amortized away",
+    )
+
+    # The fingerprint cache must hold: a warm scan never re-ships the
+    # joint, so its wire cost stays below one joint broadcast per worker.
+    assert counters.broadcasts_skipped > 0
+
+    if ENFORCE_RATIOS:
+        assert warm_speedup >= MIN_DISTRIBUTED_SPEEDUP, (
+            f"distributed warm scan only {warm_speedup:.1f}x the serial "
+            f"kernel (need >= {MIN_DISTRIBUTED_SPEEDUP}x)"
+        )
+
+
+def test_bench_distributed_batch_query(daemons, world, write_report):
+    _table, _constraints, model = world
+    queries = query_traffic(model.schema, num_queries(SMOKE))
+
+    serial_values = QuerySession(model).batch(queries)
+    serial_s = best_of(lambda: QuerySession(model).batch(queries), REPEATS)
+
+    with QuerySession(model, worker_addresses=daemons) as session:
+        distributed_values = session.batch(queries)
+        assert distributed_values == serial_values  # exact, input order
+        assert session._parallel.transport == "tcp"
+
+        warm_s = best_of(lambda: session.batch(queries), REPEATS)
+        counters = session._parallel.counters.snapshot()
+
+    warm_speedup = serial_s / warm_s
+    n = len(queries)
+    rows = [
+        ["serial session", f"{serial_s:.4f}", f"{n / serial_s:.0f}", "1.0x"],
+        [
+            f"tcp x{WORKERS} (warm workers)",
+            f"{warm_s:.4f}",
+            f"{n / warm_s:.0f}",
+            f"{warm_speedup:.1f}x",
+        ],
+    ]
+    write_report(
+        "distributed_batch_query.txt",
+        f"DISTRIBUTED BATCH QUERIES ({n} conditional queries, "
+        f"{WORKERS} tcp workers, {CPUS} cpus, best of {REPEATS})\n\n"
+        + format_table(["path", "seconds", "queries/sec", "speedup"], rows)
+        + f"\n\nwire: {counters.bytes_wire} B total, "
+        f"{counters.round_trips} round trips, "
+        f"{counters.broadcasts_skipped}/{counters.broadcasts_total} "
+        f"model broadcasts amortized away",
+    )
+
+    if ENFORCE_RATIOS:
+        assert warm_speedup >= MIN_DISTRIBUTED_SPEEDUP, (
+            f"distributed batch only {warm_speedup:.1f}x the serial "
+            f"session (need >= {MIN_DISTRIBUTED_SPEEDUP}x)"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        required=True,
+        metavar="PATH",
+        help="write a distributed-bench record to PATH (CI artifact)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI"
+    )
+    args = parser.parse_args(argv)
+
+    metrics = measure_distributed(args.smoke or SMOKE)
+    record = {
+        "timestamp": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(time.time())
+        ),
+        "smoke": args.smoke or SMOKE,
+        "python": platform.python_version(),
+        "cpus": CPUS,
+        "distributed": metrics,
+    }
+    Path(args.json).write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"distributed-bench record written to {args.json} "
+        f"(tcp x{metrics['workers']}: warm scan "
+        f"{metrics['scan_speedup']:.2f}x / batch query "
+        f"{metrics['query_speedup']:.2f}x on {CPUS} cpus, "
+        f"{metrics['wire_bytes_per_scan']} B on the wire per warm scan, "
+        f"bit-identical)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,6 +149,25 @@ def measure_parallel(smoke: bool) -> dict:
     return _measure(smoke)
 
 
+def measure_distributed(smoke: bool) -> dict:
+    """Distributed-transport trajectory metrics (bit-identity checked).
+
+    The workload and the worker-daemon lifecycle come from
+    ``_distributed_scenario`` — the module ``bench_distributed.py``
+    uses — so trajectory records and the CI artifact measure the same
+    thing.  Environments that cannot spawn localhost daemons (no
+    subprocesses, no loopback) record a ``skipped`` reason instead of
+    failing the whole emitter: the distributed metrics are additive to
+    the trajectory, not a precondition for it.
+    """
+    try:
+        from _distributed_scenario import measure_distributed as _measure
+
+        return _measure(smoke)
+    except Exception as error:  # noqa: BLE001 - recorded, not swallowed
+        return {"skipped": f"{type(error).__name__}: {error}"}
+
+
 def measure_serving(smoke: bool) -> dict:
     """Serving-layer trajectory metrics (bit-identity always checked).
 
@@ -241,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
         started = time.time()
         metrics = measure_discovery(args.smoke)
         parallel = measure_parallel(args.smoke)
+        distributed = measure_distributed(args.smoke)
         serving = measure_serving(args.smoke)
         scenarios = measure_scenarios(args.smoke)
         record = {
@@ -251,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
             "python": platform.python_version(),
             "metrics": metrics,
             "parallel": parallel,
+            "distributed": distributed,
             "serving": serving,
             "scenarios": scenarios,
         }
@@ -291,12 +312,19 @@ def main(argv: list[str] | None = None) -> int:
             for failure in failed:
                 print(f"  {failure}", file=sys.stderr)
             return 1
+        distributed_note = (
+            f"tcp x{distributed['workers']} warm scan "
+            f"{distributed['scan_speedup']:.1f}x, "
+            if "skipped" not in distributed
+            else f"distributed skipped ({distributed['skipped']}), "
+        )
         print(
             f"trajectory record appended to {path} "
             f"(warm scan speedup {metrics['scan_speedup_warm']:.1f}x, "
             f"sharded x{parallel['workers']} cold scan "
             f"{parallel['scan_speedup_cold']:.1f}x on "
             f"{parallel['cpus']} cpus, "
+            f"{distributed_note}"
             f"served x{serving['clients']} throughput "
             f"{serving['throughput_ratio']:.1f}x the single-client floor, "
             f"{len(scenarios)} scenarios conformant)"

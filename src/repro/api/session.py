@@ -55,6 +55,13 @@ class QuerySession:
         order, and single-query paths (:meth:`ask`, :meth:`probability`)
         stay in-process either way.  Call :meth:`close` (or use the
         session as a context manager) to stop the workers.
+    worker_addresses:
+        ``HOST:PORT`` addresses of remote ``repro worker`` daemons; a
+        non-empty list shards batches over TCP (one pinned remote
+        session per address) regardless of ``max_workers``.  Empty (the
+        default) leaves batches local unless the environment
+        (``REPRO_PARALLEL_TRANSPORT=tcp`` + ``REPRO_WORKER_ADDRESSES``)
+        says otherwise.
     """
 
     def __init__(
@@ -63,6 +70,7 @@ class QuerySession:
         backend: str = "auto",
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int = 1,
+        worker_addresses=(),
     ):
         if cache_size < 1:
             raise QueryError(f"cache_size must be positive, got {cache_size}")
@@ -73,6 +81,7 @@ class QuerySession:
         self._requested_backend = backend
         self._cache_size = int(cache_size)
         self._max_workers = int(max_workers)
+        self._worker_addresses = tuple(worker_addresses or ())
         self._parallel = None
         self.set_model(model)
 
@@ -251,7 +260,7 @@ class QuerySession:
         order); each worker compiles and caches plans and marginals
         locally, so repeated traffic shapes stay warm per worker.
         """
-        if self._max_workers > 1:
+        if self._max_workers > 1 or self._worker_addresses:
             return self._parallel_batch(queries)
         plans = [self.compile(query) for query in queries]
         self._sync()
@@ -278,6 +287,7 @@ class QuerySession:
                 backend=self._requested_backend,
                 cache_size=self._cache_size,
                 max_workers=self._max_workers,
+                worker_addresses=self._worker_addresses,
             )
         try:
             return self._parallel.batch(queries)

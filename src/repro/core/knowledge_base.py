@@ -213,6 +213,7 @@ class ProbabilisticKnowledgeBase:
         backend: str = "auto",
         cache_size: int | None = None,
         max_workers: int = 1,
+        worker_addresses=(),
     ) -> QuerySession:
         """Open a new query session against this knowledge base's model.
 
@@ -221,20 +222,25 @@ class ProbabilisticKnowledgeBase:
         any registered plugin).  ``max_workers > 1`` shards
         :meth:`~repro.api.session.QuerySession.batch` calls across worker
         processes with per-worker caches (close the session to stop
-        them).  The single-query convenience methods below all delegate
-        to a shared default session.
+        them); ``worker_addresses`` shards them across remote ``repro
+        worker`` daemons instead.  The single-query convenience methods
+        below all delegate to a shared default session.
         """
         from repro.api.session import QuerySession
 
         if cache_size is None:
             return QuerySession(
-                self.model, backend=backend, max_workers=max_workers
+                self.model,
+                backend=backend,
+                max_workers=max_workers,
+                worker_addresses=worker_addresses,
             )
         return QuerySession(
             self.model,
             backend=backend,
             cache_size=cache_size,
             max_workers=max_workers,
+            worker_addresses=worker_addresses,
         )
 
     @property
@@ -252,6 +258,7 @@ class ProbabilisticKnowledgeBase:
         queries: Iterable[str | Query],
         backend: str | None = None,
         max_workers: int = 1,
+        worker_addresses=(),
     ) -> list[float]:
         """Batch-evaluate many queries, sharing marginal computations.
 
@@ -260,11 +267,15 @@ class ProbabilisticKnowledgeBase:
         ``max_workers > 1`` shards the batch across worker processes for
         this call (pool started and stopped per call — hold a
         :meth:`session` with ``max_workers`` to amortize startup across
-        batches); results keep input order.
+        batches); ``worker_addresses`` shards it across remote ``repro
+        worker`` daemons over TCP instead.  Results keep input order and
+        are bit-identical either way.
         """
-        if max_workers > 1:
+        if max_workers > 1 or worker_addresses:
             with self.session(
-                backend=backend or "auto", max_workers=max_workers
+                backend=backend or "auto",
+                max_workers=max_workers,
+                worker_addresses=worker_addresses,
             ) as parallel_session:
                 return parallel_session.batch(queries)
         if backend is not None:

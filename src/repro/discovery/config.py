@@ -62,10 +62,21 @@ class DiscoveryConfig:
     transport:
         How sharded-scan tensors move between master and workers:
         ``"pipe"`` (pickle over the worker pipes), ``"shm"`` (zero-copy
-        shared-memory segments), or ``None`` — defer to the
+        shared-memory segments), ``"tcp"`` (remote worker daemons — see
+        ``worker_addresses``), or ``None`` — defer to the
         ``REPRO_PARALLEL_TRANSPORT`` environment variable, defaulting to
         shm where available.  Bit-identical results either way; machine-
         local like ``max_workers`` and likewise not serialized.
+    worker_addresses:
+        ``HOST:PORT`` addresses of remote ``repro worker`` daemons to
+        shard scans across (each address is one pool slot).  A non-empty
+        list implies the tcp transport; empty (the default) leaves
+        remote execution to the ``tcp`` transport choice plus
+        ``REPRO_WORKER_ADDRESSES``, degrading to local workers when no
+        addresses are configured anywhere.  The most machine-local knob
+        of all — it names sockets on a specific network — so like
+        ``max_workers`` it is deliberately *not* serialized: a stored KB
+        must never make a loading host dial someone else's workers.
     """
 
     max_order: int | None = None
@@ -78,6 +89,7 @@ class DiscoveryConfig:
     max_workers: int = 1
     parallel_scan_threshold: int = 512
     transport: str | None = None
+    worker_addresses: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.given_constraints, tuple):
@@ -112,12 +124,23 @@ class DiscoveryConfig:
         if self.transport is not None and self.transport not in (
             "pipe",
             "shm",
+            "tcp",
             "auto",
         ):
             raise DataError(
                 f"unknown transport {self.transport!r}; choose 'pipe', "
-                f"'shm', 'auto', or None"
+                f"'shm', 'tcp', 'auto', or None"
             )
+        if not isinstance(self.worker_addresses, tuple):
+            object.__setattr__(
+                self, "worker_addresses", tuple(self.worker_addresses)
+            )
+        for address in self.worker_addresses:
+            if not isinstance(address, str) or ":" not in address:
+                raise DataError(
+                    f"worker address {address!r} is not of the form "
+                    f"HOST:PORT"
+                )
 
     def to_dict(self) -> dict:
         """JSON-ready dict (round-tripped in the knowledge-base format)."""

@@ -100,13 +100,18 @@ class DiscoveryEngine:
         self._owns_executor = False
         if (
             executor is None
-            and self.config.max_workers > 1
             and scan_backend == "kernel"
+            and (
+                self.config.max_workers > 1
+                or self.config.worker_addresses
+            )
         ):
             from repro.parallel.scan import ShardedScanExecutor
 
             executor = ShardedScanExecutor(
-                self.config.max_workers, transport=self.config.transport
+                self.config.max_workers,
+                transport=self.config.transport,
+                worker_addresses=self.config.worker_addresses,
             )
             self._owns_executor = True
         self.executor = executor

@@ -1,0 +1,37 @@
+"""Distributed worker transport: pinned workers over length-prefixed TCP.
+
+The third transport next to ``pipe`` and ``shm``:
+:class:`TcpWorkerPool` speaks the same ``("call", task, args)`` protocol
+as the in-process :class:`~repro.parallel.pool.WorkerPool`, against
+:class:`WorkerServer` daemons started with ``repro worker --listen``.
+:func:`resolve_distribution` decides when a run goes remote (explicit
+addresses > ``REPRO_WORKER_ADDRESSES`` under a ``tcp`` transport) and
+degrades to local execution when the worker set is empty.
+"""
+
+from repro.distributed.client import (
+    TcpWorkerPool,
+    WORKERS_ENV_VAR,
+    parse_worker_addresses,
+    resolve_distribution,
+)
+from repro.distributed.protocol import (
+    MAX_FRAME_BYTES,
+    format_address,
+    parse_address,
+)
+from repro.distributed.retry import DEFAULT_RETRY, RetryPolicy
+from repro.distributed.worker import WorkerServer
+
+__all__ = [
+    "DEFAULT_RETRY",
+    "MAX_FRAME_BYTES",
+    "RetryPolicy",
+    "TcpWorkerPool",
+    "WORKERS_ENV_VAR",
+    "WorkerServer",
+    "format_address",
+    "parse_address",
+    "parse_worker_addresses",
+    "resolve_distribution",
+]

@@ -1,0 +1,162 @@
+"""Length-prefixed frame protocol for the TCP worker transport.
+
+Every message on the wire is one *frame*::
+
+    +----------+----------------------+---------------------+
+    | magic    | payload length       | payload             |
+    | 4 bytes  | 8 bytes, big-endian  | ``length`` bytes    |
+    +----------+----------------------+---------------------+
+
+The payload is a pickled message tuple — the same ``("call", task,
+args)`` / ``("ok", result)`` / ``("error", ...)`` shapes the in-process
+:class:`repro.parallel.pool.WorkerPool` exchanges over pipes, so the
+remote worker loop is a socket-backed mirror of ``_worker_main``.
+
+Pickle over a socket executes arbitrary code on unpickling: this
+transport is for **trusted, private networks only** (the same trust
+model as the multiprocessing pipe transport, extended across hosts).
+The magic prefix and the frame-size cap reject accidental cross-talk
+(something that isn't a repro worker connecting to the port) before any
+byte reaches the unpickler.
+
+A clean EOF *between* frames returns ``None`` (the peer closed in an
+orderly way); EOF *inside* a frame — a truncated header or payload — is
+a protocol violation and raises :class:`ParallelError`, as do a bad
+magic prefix and an oversized length header.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.exceptions import ParallelError
+
+#: Frame prefix: "Repro Protocol Worker, version 1".  Changing the wire
+#: format bumps the digit so mismatched peers fail loudly at the first
+#: frame instead of misinterpreting payloads.
+MAGIC = b"RPW1"
+
+#: Upper bound on a single frame's payload.  Large enough for any
+#: realistic packed model or columnar shard result (the biggest real
+#: payloads are a few MB), small enough that a garbage length header
+#: can't make ``recv_exact`` try to buffer gigabytes.
+MAX_FRAME_BYTES = 1 << 30
+
+_LENGTH = struct.Struct(">Q")
+HEADER_BYTES = len(MAGIC) + _LENGTH.size
+
+
+def parse_address(text: str, listen: bool = False) -> tuple[str, int]:
+    """Parse ``HOST:PORT`` into ``(host, port)``.
+
+    The split is on the *last* colon so bare IPv6 forms like
+    ``::1:9000`` keep working without bracket syntax.  Port 0 (bind an
+    ephemeral port) is only meaningful for ``listen`` addresses; as a
+    connect target it is rejected like any other unusable port.
+    """
+    host, sep, port_text = text.strip().rpartition(":")
+    if not sep or not host:
+        raise ParallelError(
+            f"worker address {text!r} is not of the form HOST:PORT"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ParallelError(
+            f"worker address {text!r} has a non-numeric port"
+        ) from None
+    if not (0 if listen else 1) <= port < 65536:
+        raise ParallelError(
+            f"worker address {text!r} has an out-of-range port"
+        )
+    return host, port
+
+
+def format_address(address: tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+def recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes, looping over partial reads.
+
+    Returns ``None`` on a clean EOF before the *first* byte; raises
+    :class:`ParallelError` when the stream ends mid-read (a truncated
+    frame).
+    """
+    chunks: list[bytes] = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(min(count - received, 1 << 20))
+        if not chunk:
+            if received == 0:
+                return None
+            raise ParallelError(
+                f"connection closed mid-frame: expected {count} bytes, "
+                f"got {received}"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> int:
+    """Write one frame; returns the total bytes put on the wire."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ParallelError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(cap {MAX_FRAME_BYTES})"
+        )
+    header = MAGIC + _LENGTH.pack(len(payload))
+    sock.sendall(header + payload)
+    return len(header) + len(payload)
+
+
+def recv_frame(sock: socket.socket) -> bytes | None:
+    """Read one frame's payload, or ``None`` on clean EOF."""
+    header = recv_exact(sock, HEADER_BYTES)
+    if header is None:
+        return None
+    magic, length_bytes = header[: len(MAGIC)], header[len(MAGIC) :]
+    if magic != MAGIC:
+        raise ParallelError(
+            f"bad frame magic {magic!r}: peer is not a repro worker "
+            f"(or a protocol-version mismatch)"
+        )
+    (length,) = _LENGTH.unpack(length_bytes)
+    if length > MAX_FRAME_BYTES:
+        raise ParallelError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    payload = recv_exact(sock, length)
+    if payload is None and length > 0:
+        raise ParallelError(
+            "connection closed between a frame header and its payload"
+        )
+    return payload if payload is not None else b""
+
+
+def send_message(sock: socket.socket, message: Any) -> int:
+    """Pickle and send one message; returns bytes-on-wire."""
+    return send_frame(
+        sock, pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
+def recv_message(sock: socket.socket) -> Any:
+    """Receive one message, or ``None`` on clean EOF.
+
+    ``None`` is never a legal message on this protocol (every payload is
+    a non-empty tuple), so the sentinel is unambiguous.
+    """
+    payload = recv_frame(sock)
+    if payload is None:
+        return None
+    try:
+        return pickle.loads(payload)
+    except Exception as error:
+        raise ParallelError(
+            f"could not unpickle a {len(payload)}-byte frame: {error}"
+        ) from error

@@ -1,0 +1,79 @@
+"""Bounded retry with backoff, shared by every worker transport.
+
+One policy object covers the whole error-path surface: the TCP pool
+uses it for connection establishment, the in-process pool's inline
+fallback uses the *same* object for transient task failures, so the
+error-path tests exercise one code path regardless of transport.
+
+Only *transient* errors are retried — :class:`OSError` (which covers
+``ConnectionError`` and ``socket.timeout``) and :class:`TimeoutError`.
+Library errors (:class:`ReproError` subclasses) are never retried: a
+worker that raised ``DataError`` will raise it again, and retrying a
+:class:`ParallelError` would hide a dead worker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.exceptions import ParallelError, ReproError
+
+T = TypeVar("T")
+
+#: Exception types worth retrying: infrastructure hiccups, not logic.
+TRANSIENT_ERRORS = (OSError, TimeoutError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeouts and bounded retry for worker connections and calls.
+
+    ``connect_timeout`` bounds a single connection attempt,
+    ``read_timeout`` bounds each blocking read while waiting for a
+    worker's reply (``None`` waits forever), ``attempts`` is the total
+    number of tries (1 = no retry), and ``backoff`` is the initial sleep
+    between tries, doubled each retry.
+    """
+
+    connect_timeout: float = 5.0
+    read_timeout: float | None = 120.0
+    attempts: int = 3
+    backoff: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.connect_timeout <= 0:
+            raise ParallelError("connect_timeout must be positive")
+        if self.read_timeout is not None and self.read_timeout <= 0:
+            raise ParallelError("read_timeout must be positive or None")
+        if self.attempts < 1:
+            raise ParallelError("attempts must be at least 1")
+        if self.backoff < 0:
+            raise ParallelError("backoff must be non-negative")
+
+    def call(self, action: Callable[[], T]) -> T:
+        """Run ``action``, retrying transient errors up to ``attempts``.
+
+        :class:`ReproError` subclasses propagate immediately even though
+        ``TimeoutError``/``OSError`` appear in their MRO context — the
+        transient check explicitly excludes the library hierarchy.
+        """
+        delay = self.backoff
+        last_error: BaseException | None = None
+        for attempt in range(self.attempts):
+            try:
+                return action()
+            except TRANSIENT_ERRORS as error:
+                if isinstance(error, ReproError):
+                    raise
+                last_error = error
+                if attempt + 1 < self.attempts and delay > 0:
+                    time.sleep(delay)
+                    delay *= 2
+        assert last_error is not None
+        raise last_error
+
+
+#: The default policy used when callers don't pass one explicitly.
+DEFAULT_RETRY = RetryPolicy()

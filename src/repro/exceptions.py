@@ -43,5 +43,16 @@ class ParallelError(ReproError):
     :class:`ReproError` subclass — are re-raised as themselves)."""
 
 
+class StaleWorkerStateError(ParallelError):
+    """A remote worker was asked to reuse pinned state it no longer holds.
+
+    The TCP transport pins data-side stats, cached joints, and query
+    sessions per connection; a reconnect (or a fresh daemon) starts from
+    nothing.  A worker raises this when the master references cached
+    state — a table, a joint fingerprint, a session — that the
+    connection never received, so the master can re-ship the full
+    payload instead of silently serving stale or missing state."""
+
+
 class QueryError(ReproError):
     """A probability query is malformed or has zero-probability evidence."""

@@ -193,6 +193,15 @@ class WorkerPool:
     start_method:
         ``"fork"`` / ``"spawn"`` / ``"forkserver"``; default picks fork
         where available (see :func:`default_start_method`).
+    retry:
+        A :class:`~repro.distributed.retry.RetryPolicy` — the *same*
+        config surface every transport honors.  ``read_timeout`` bounds
+        each wait for a worker reply (a hung worker raises
+        :class:`ParallelError` instead of blocking forever), and the
+        inline fallback retries transient task errors through
+        ``retry.call`` exactly as the TCP pool retries connections — so
+        error-path tests exercise one retry code path regardless of
+        transport.
 
     Workers start lazily on the first :meth:`run` and live until
     :meth:`close`; the pool is a context manager.
@@ -203,11 +212,17 @@ class WorkerPool:
         max_workers: int,
         inline: bool | None = None,
         start_method: str | None = None,
+        retry=None,
     ):
         if max_workers < 1:
             raise ParallelError(
                 f"max_workers must be >= 1, got {max_workers}"
             )
+        if retry is None:
+            from repro.distributed.retry import DEFAULT_RETRY
+
+            retry = DEFAULT_RETRY
+        self.retry = retry
         self.max_workers = int(max_workers)
         self.inline = (max_workers == 1) if inline is None else bool(inline)
         self._start_method = start_method or default_start_method()
@@ -324,19 +339,28 @@ class WorkerPool:
             # Same failure contract as the process path: every shard
             # runs (replies are "collected"), then the first error is
             # raised — library errors as themselves, the rest wrapped.
+            # Transient errors go through the shared retry policy, the
+            # same one the TCP pool applies to connections.
             handler = resolve_task(task)
             results = []
             failure: Exception | None = None
             for index, args in enumerate(args_per_worker):
+                state = self._states[index]
                 try:
-                    results.append(handler(self._states[index], *args))
+                    results.append(
+                        self.retry.call(lambda: handler(state, *args))
+                    )
                 except Exception as error:
                     results.append(None)
                     if failure is None:
                         failure = error
             if failure is not None:
-                if isinstance(failure, ReproError) and not isinstance(
-                    failure, ParallelError
+                # `type(...) is not ParallelError` (not isinstance):
+                # _raise_remote re-raises ParallelError *subclasses* —
+                # StaleWorkerStateError in particular — as themselves,
+                # and the inline path must agree with the remote one.
+                if isinstance(failure, ReproError) and (
+                    type(failure) is not ParallelError
                 ):
                     raise failure
                 raise ParallelError(
@@ -355,8 +379,20 @@ class WorkerPool:
                 ) from None
         results = []
         failure = None
+        read_timeout = self.retry.read_timeout
         for index, (_process, connection) in enumerate(active):
             try:
+                # The same read_timeout the TCP pool sets on its
+                # sockets: a hung worker raises instead of blocking the
+                # master forever.
+                if read_timeout is not None and not connection.poll(
+                    read_timeout
+                ):
+                    self.close()
+                    raise ParallelError(
+                        f"worker {index} did not reply within "
+                        f"{read_timeout}s while running task {task!r}"
+                    )
                 reply = connection.recv()
             except (EOFError, OSError):
                 self.close()

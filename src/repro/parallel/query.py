@@ -29,7 +29,7 @@ path would; a worker that dies raises
 
 from __future__ import annotations
 
-from repro.exceptions import ParallelError
+from repro.exceptions import ParallelError, StaleWorkerStateError
 from repro.maxent.model import MaxEntModel
 from repro.parallel.pool import WorkerPool, shard_bounds
 from repro.parallel.shm import (
@@ -46,8 +46,10 @@ __all__ = ["ParallelQueryEvaluator"]
 
 _TASK_INIT = f"{__name__}:_init_session"
 _TASK_INIT_SHM = f"{__name__}:_init_session_shm"
+_TASK_INIT_PACKED = f"{__name__}:_init_session_packed"
 _TASK_SET_MODEL = f"{__name__}:_set_model"
 _TASK_SET_MODEL_SHM = f"{__name__}:_set_model_shm"
+_TASK_SET_MODEL_PACKED = f"{__name__}:_set_model_packed"
 _TASK_BATCH = f"{__name__}:_evaluate_shard"
 
 
@@ -81,6 +83,22 @@ def _init_session_shm(state, schema, backend, cache_size, layout, handle):
     return state["attachments"].take_attach_ns()
 
 
+def _init_session_packed(state, schema, backend, cache_size, layout, block):
+    """Build a worker session from the packed wire format (tcp).
+
+    The float64 block crosses the frame bit-exactly (pickled numpy
+    array), and :func:`unpack_model` rebuilds the identical model the
+    shm path attaches — so served answers cannot differ by transport.
+    """
+    from repro.api.session import QuerySession
+
+    model = unpack_model(schema, layout, block)
+    state["schema"] = schema
+    state["session"] = QuerySession(
+        model, backend=backend, cache_size=cache_size
+    )
+
+
 def _set_model(state, model) -> None:
     session = state.get("session")
     if session is None:
@@ -97,10 +115,20 @@ def _set_model_shm(state, layout, handle):
     return state["attachments"].take_attach_ns()
 
 
+def _set_model_packed(state, layout, block) -> None:
+    session = state.get("session")
+    if session is None:
+        raise StaleWorkerStateError("query worker has no session")
+    model = unpack_model(state["schema"], layout, block)
+    session.set_model(model)
+
+
 def _evaluate_shard(state, queries) -> list[float]:
     session = state.get("session")
     if session is None:
-        raise ParallelError("query worker has no session")
+        # StaleWorkerStateError: a reconnected remote worker lost its
+        # session; the master rebuilds by re-broadcasting the model.
+        raise StaleWorkerStateError("query worker has no session")
     return session.batch(queries)
 
 
@@ -111,8 +139,12 @@ class ParallelQueryEvaluator:
     """Evaluates query batches across a pool of worker sessions.
 
     ``transport`` picks how model broadcasts move (``"pipe"`` / ``"shm"``
-    / None = the ``REPRO_PARALLEL_TRANSPORT`` environment default);
-    ``counters`` accumulates the payload bytes and amortized broadcasts.
+    / ``"tcp"`` / None = the ``REPRO_PARALLEL_TRANSPORT`` environment
+    default); ``counters`` accumulates the payload bytes and amortized
+    broadcasts.  ``worker_addresses`` (or ``REPRO_WORKER_ADDRESSES``
+    under a tcp transport) shards batches across remote worker daemons,
+    each holding a pinned :class:`~repro.api.session.QuerySession`; a
+    tcp choice with no addresses degrades to local workers.
     """
 
     def __init__(
@@ -124,17 +156,45 @@ class ParallelQueryEvaluator:
         pool: WorkerPool | None = None,
         start_method: str | None = None,
         transport: str | None = None,
+        worker_addresses=None,
+        retry=None,
     ):
         if pool is None:
-            if max_workers is None:
-                raise ParallelError(
-                    "ParallelQueryEvaluator needs max_workers or a pool"
-                )
-            pool = WorkerPool(max_workers, start_method=start_method)
+            from repro.distributed.client import (
+                TcpWorkerPool,
+                resolve_distribution,
+            )
+
+            resolved, addresses = resolve_distribution(
+                transport, worker_addresses
+            )
+            if resolved == "tcp":
+                pool = TcpWorkerPool(addresses, retry=retry)
+            else:
+                if max_workers is None:
+                    raise ParallelError(
+                        "ParallelQueryEvaluator needs max_workers, a "
+                        "pool, or worker addresses"
+                    )
+                pool = WorkerPool(max_workers, start_method=start_method)
+            self.transport = resolved
+        else:
+            pool_transport = getattr(pool, "transport", None)
+            if pool_transport is not None:
+                self.transport = pool_transport
+            else:
+                resolved = resolve_transport(transport)
+                if resolved == "tcp":
+                    resolved = resolve_transport("auto")
+                self.transport = resolved
         self.pool = pool
         self.max_workers = pool.max_workers
-        self.transport = resolve_transport(transport)
-        self.counters = TransportCounters()
+        pool_counters = getattr(pool, "counters", None)
+        self.counters = (
+            pool_counters
+            if isinstance(pool_counters, TransportCounters)
+            else TransportCounters()
+        )
         self._model = model
         self._backend = backend
         self._cache_size = int(cache_size)
@@ -196,6 +256,17 @@ class ParallelQueryEvaluator:
                     handle,
                 )
                 counters.attach_ns += sum(replies)
+            elif self.transport == "tcp":
+                layout, block = pack_model(self._model)
+                self.pool.broadcast(
+                    _TASK_INIT_PACKED,
+                    self._model.schema,
+                    self._backend,
+                    self._cache_size,
+                    layout,
+                    block,
+                )
+                counters.bytes_pickled += block.nbytes * self.max_workers
             else:
                 self.pool.broadcast(
                     _TASK_INIT, self._model, self._backend, self._cache_size
@@ -212,6 +283,10 @@ class ParallelQueryEvaluator:
                     _TASK_SET_MODEL_SHM, layout, handle
                 )
                 counters.attach_ns += sum(replies)
+            elif self.transport == "tcp":
+                layout, block = pack_model(self._model)
+                self.pool.broadcast(_TASK_SET_MODEL_PACKED, layout, block)
+                counters.bytes_pickled += block.nbytes * self.max_workers
             else:
                 self.pool.broadcast(_TASK_SET_MODEL, self._model)
                 counters.bytes_pickled += (
@@ -222,16 +297,27 @@ class ParallelQueryEvaluator:
         self._broadcast_fingerprint = fingerprint
 
     def batch(self, queries) -> list[float]:
-        """Evaluate ``queries`` concurrently; results in input order."""
+        """Evaluate ``queries`` concurrently; results in input order.
+
+        A :class:`StaleWorkerStateError` — a reconnected remote worker
+        whose pinned session died with its old connection — is recovered
+        once by rebroadcasting the model (rebuilding every worker
+        session) and retrying the shards; worker sessions are caches
+        over the same model, so the retried answers are identical.
+        """
         queries = list(queries)
         if not queries:
             return []
         self._ensure_current()
         shards = max(1, min(self.max_workers, len(queries)))
         bounds = shard_bounds(len(queries), shards)
-        results = self.pool.run(
-            _TASK_BATCH, [(queries[a:b],) for a, b in bounds]
-        )
+        args = [(queries[a:b],) for a, b in bounds]
+        try:
+            results = self.pool.run(_TASK_BATCH, args)
+        except StaleWorkerStateError:
+            self.reset()
+            self._ensure_current()
+            results = self.pool.run(_TASK_BATCH, args)
         return [value for shard in results for value in shard]
 
     def close(self) -> None:

@@ -57,7 +57,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.data.contingency import ContingencyTable
-from repro.exceptions import ParallelError
+from repro.exceptions import ParallelError, StaleWorkerStateError
 from repro.maxent.constraints import CellConstraint, ConstraintSet
 from repro.maxent.model import MaxEntModel
 from repro.parallel.pool import WorkerPool, shard_bounds
@@ -75,6 +75,7 @@ __all__ = ["LazyScanTests", "ShardedScanExecutor", "scan_order_sharded"]
 _TASK_INIT = f"{__name__}:_init_order"
 _TASK_SCAN = f"{__name__}:_scan_shard"
 _TASK_SCAN_SHM = f"{__name__}:_scan_shard_shm"
+_TASK_SCAN_TCP = f"{__name__}:_scan_shard_tcp"
 _TASK_ADOPT = f"{__name__}:_adopt"
 _TASK_END = f"{__name__}:_end_order"
 
@@ -230,7 +231,9 @@ def _init_order(state, table_ref, order, constraints, priors, subsets) -> None:
     if kind == "table":
         state["table"] = table_ref[1]
     elif "table" not in state:
-        raise ParallelError(
+        # StaleWorkerStateError so a master talking to a reconnected (or
+        # fresh) remote worker can recover by re-shipping the full table.
+        raise StaleWorkerStateError(
             "worker was told to reuse a cached table it never received"
         )
     state["kernel"] = OrderScanKernel(
@@ -244,6 +247,41 @@ def _scan_shard(state, joint):
     if kernel is None:
         raise ParallelError("scan worker has no active order")
     columns = kernel.scan_columns(None, joint=joint)
+    return columns, _best_in_columns(columns)
+
+
+def _scan_shard_tcp(state, joint_ref):
+    """One shard scan under the tcp transport.
+
+    The joint arrives fingerprint-amortized: ``("joint", fp, array)``
+    ships it (cached worker-side, surviving order boundaries exactly as
+    the master's ``_published_fingerprint`` does), ``("cached", fp)``
+    reuses the cached copy.  A fingerprint mismatch — a reconnected
+    worker whose cache died with its old connection, or a master that
+    rebuilt its model — raises :class:`StaleWorkerStateError` rather
+    than scanning against a stale joint; the master recovers by
+    replaying the order with full payloads.
+    """
+    kernel = state.get("kernel")
+    if kernel is None:
+        raise StaleWorkerStateError(
+            "scan worker has no active order (fresh connection?)"
+        )
+    kind = joint_ref[0]
+    if kind == "joint":
+        _kind, fingerprint, joint = joint_ref
+        state["joint"] = joint
+        state["joint_fingerprint"] = fingerprint
+    else:
+        _kind, fingerprint = joint_ref
+        if "joint" not in state or state.get("joint_fingerprint") != (
+            fingerprint
+        ):
+            raise StaleWorkerStateError(
+                "worker was told to reuse a cached joint it does not "
+                "hold (or holds for a different model fingerprint)"
+            )
+    columns = kernel.scan_columns(None, joint=state["joint"])
     return columns, _best_in_columns(columns)
 
 
@@ -337,11 +375,17 @@ class ShardedScanExecutor:
     One executor (and its pool) serves a whole discovery run — workers
     persist across orders, only their per-order kernels are rebuilt.
 
-    ``transport`` picks how tensors move (``"pipe"`` / ``"shm"`` / None =
-    the ``REPRO_PARALLEL_TRANSPORT`` environment default, auto-selecting
-    shm where available); ``counters`` accumulates what it moved.  Under
-    shm, shard result float columns whose upper-bound size reaches
-    ``result_threshold_bytes`` return through per-worker shared slabs.
+    ``transport`` picks how tensors move (``"pipe"`` / ``"shm"`` /
+    ``"tcp"`` / None = the ``REPRO_PARALLEL_TRANSPORT`` environment
+    default, auto-selecting shm where available); ``counters``
+    accumulates what it moved.  Under shm, shard result float columns
+    whose upper-bound size reaches ``result_threshold_bytes`` return
+    through per-worker shared slabs.  ``worker_addresses`` (or
+    ``REPRO_WORKER_ADDRESSES`` under a tcp transport) names remote
+    worker daemons — one pool slot per entry, shards running over TCP;
+    a tcp choice with no addresses degrades to local execution (see
+    :func:`repro.distributed.resolve_distribution`), and ``retry``
+    bounds remote connect/read behavior.
     """
 
     def __init__(
@@ -351,18 +395,52 @@ class ShardedScanExecutor:
         start_method: str | None = None,
         transport: str | None = None,
         result_threshold_bytes: int = DEFAULT_RESULT_THRESHOLD_BYTES,
+        worker_addresses=None,
+        retry=None,
     ):
         if pool is None:
-            if max_workers is None:
-                raise ParallelError(
-                    "ShardedScanExecutor needs max_workers or a pool"
-                )
-            pool = WorkerPool(max_workers, start_method=start_method)
+            from repro.distributed.client import (
+                TcpWorkerPool,
+                resolve_distribution,
+            )
+
+            resolved, addresses = resolve_distribution(
+                transport, worker_addresses
+            )
+            if resolved == "tcp":
+                pool = TcpWorkerPool(addresses, retry=retry)
+            else:
+                if max_workers is None:
+                    raise ParallelError(
+                        "ShardedScanExecutor needs max_workers, a pool, "
+                        "or worker addresses"
+                    )
+                pool = WorkerPool(max_workers, start_method=start_method)
+            self.transport = resolved
+        else:
+            # A provided pool decides its own transport: a TcpWorkerPool
+            # is tcp; a local pool resolves the local choice (an env-set
+            # tcp cannot apply to it, so it falls back to auto).
+            pool_transport = getattr(pool, "transport", None)
+            if pool_transport is not None:
+                self.transport = pool_transport
+            else:
+                resolved = resolve_transport(transport)
+                if resolved == "tcp":
+                    resolved = resolve_transport("auto")
+                self.transport = resolved
         self.pool = pool
         self.max_workers = pool.max_workers
-        self.transport = resolve_transport(transport)
         self.result_threshold_bytes = int(result_threshold_bytes)
-        self.counters = TransportCounters()
+        # A tcp pool charges wire traffic to its own counters object;
+        # adopting it makes --profile and bench records see bytes_wire /
+        # round_trips without a second accounting site.
+        pool_counters = getattr(pool, "counters", None)
+        self.counters = (
+            pool_counters
+            if isinstance(pool_counters, TransportCounters)
+            else TransportCounters()
+        )
         self._active_shards = 0
         self._tensor_pool = (
             SharedTensorPool() if self.transport == "shm" else None
@@ -373,6 +451,9 @@ class ShardedScanExecutor:
         # Strong reference on purpose: `is` against a live object is the
         # only safe identity test (an id() can be recycled after GC).
         self._last_table: ContingencyTable | None = None
+        # What begin_order was last called with, kept so the tcp path can
+        # replay the whole order after a worker reports stale state.
+        self._order_args: tuple | None = None
         self._slab_handles: list = []
         self._slab_views: list = []
         self._data_cache: list[dict] = []
@@ -393,13 +474,29 @@ class ShardedScanExecutor:
             table_ref = ("cached",)
         else:
             table_ref = ("table", table)
-        self.pool.run(
-            _TASK_INIT,
-            [
-                (table_ref, order, constraints, priors, tuple(subsets[a:b]))
-                for a, b in bounds
-            ],
-        )
+        try:
+            self.pool.run(
+                _TASK_INIT,
+                [
+                    (table_ref, order, constraints, priors,
+                     tuple(subsets[a:b]))
+                    for a, b in bounds
+                ],
+            )
+        except StaleWorkerStateError:
+            # A reconnected remote worker lost its cached table; re-ship
+            # it in full.  (Local workers can never hit this: their
+            # state lives exactly as long as their pipe.)
+            self._published_fingerprint = None
+            self.pool.run(
+                _TASK_INIT,
+                [
+                    (("table", table), order, constraints, priors,
+                     tuple(subsets[a:b]))
+                    for a, b in bounds
+                ],
+            )
+        self._order_args = (table, order, constraints, priors)
         self._last_table = table
         # _published_fingerprint deliberately survives order boundaries:
         # when nothing was adopted at the previous order the model (and
@@ -454,6 +551,9 @@ class ShardedScanExecutor:
             shard_columns = self._decode_shm_replies(replies)
             merged = [(columns, reply[2]) for columns, reply in
                       zip(shard_columns, replies)]
+        elif self.transport == "tcp":
+            merged = self._dispatch_scan_tcp(model)
+            shard_columns = [columns for columns, _best in merged]
         else:
             joint = np.ascontiguousarray(model.joint())
             self.counters.broadcasts_total += 1
@@ -526,6 +626,57 @@ class ShardedScanExecutor:
                 for shard in range(self._active_shards)
             ],
         )
+
+    def _dispatch_scan_tcp(self, model: MaxEntModel) -> list:
+        """Ship the joint (fingerprint-amortized) and scan over TCP.
+
+        A :class:`StaleWorkerStateError` from any worker — a reconnected
+        connection whose pinned kernel/joint died with its predecessor —
+        is recovered by replaying the whole order with full payloads
+        (table, kernel state, joint) and scanning again.  The replay
+        rebuilds each worker kernel from the master's *current*
+        constraint set, which is exactly the state an uninterrupted
+        worker holds, so the retried scan stays bit-identical.
+        """
+        counters = self.counters
+        fingerprint = model.fingerprint()
+        counters.broadcasts_total += 1
+        if fingerprint == self._published_fingerprint:
+            counters.broadcasts_skipped += 1
+            joint_ref = ("cached", fingerprint)
+        else:
+            joint = np.ascontiguousarray(model.joint())
+            counters.bytes_pickled += joint.nbytes * self._active_shards
+            joint_ref = ("joint", fingerprint, joint)
+        try:
+            replies = self.pool.run(
+                _TASK_SCAN_TCP, [(joint_ref,)] * self._active_shards
+            )
+        except StaleWorkerStateError:
+            self._replay_order()
+            joint = np.ascontiguousarray(model.joint())
+            counters.broadcasts_total += 1
+            counters.bytes_pickled += joint.nbytes * self._active_shards
+            replies = self.pool.run(
+                _TASK_SCAN_TCP,
+                [(("joint", fingerprint, joint),)] * self._active_shards,
+            )
+        self._published_fingerprint = fingerprint
+        counters.bytes_pickled += 8 * 6 * sum(
+            len(subset_columns[1])
+            for columns, _best in replies
+            for subset_columns in columns
+        )
+        return replies
+
+    def _replay_order(self) -> None:
+        """Re-ship the active order in full after a stale-state report."""
+        if self._order_args is None:
+            raise ParallelError("no active order; call begin_order first")
+        table, order, constraints, priors = self._order_args
+        self._last_table = None
+        self._published_fingerprint = None
+        self.begin_order(table, order, constraints, priors)
 
     def _decode_shm_replies(self, replies: list) -> list:
         """Rebuild per-shard columnar results from slabs and metadata.
@@ -612,6 +763,7 @@ class ShardedScanExecutor:
         self._joint_view = None
         self._published_fingerprint = None
         self._last_table = None
+        self._order_args = None
         if self._tensor_pool is not None:
             self._tensor_pool.close()
         self.pool.close()

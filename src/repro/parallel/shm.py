@@ -71,8 +71,11 @@ __all__ = [
 ]
 
 #: Transports an executor can run on.  ``auto`` (the selection default,
-#: not itself a transport) resolves to shm where available, else pipe.
-TRANSPORTS = ("pipe", "shm")
+#: not itself a transport) resolves to shm where available, else pipe —
+#: never tcp, which always needs a worker-address list and is only
+#: engaged explicitly (argument, env var, or a non-empty address list;
+#: see :func:`repro.distributed.resolve_distribution`).
+TRANSPORTS = ("pipe", "shm", "tcp")
 TRANSPORT_ENV_VAR = "REPRO_PARALLEL_TRANSPORT"
 
 _shm_probe: bool | None = None
@@ -101,13 +104,16 @@ def shm_available() -> bool:
 
 
 def resolve_transport(transport: str | None = None) -> str:
-    """Resolve a transport choice to ``"pipe"`` or ``"shm"``.
+    """Resolve a transport choice to ``"pipe"``, ``"shm"``, or ``"tcp"``.
 
     Precedence: the explicit ``transport`` argument, then the
     ``REPRO_PARALLEL_TRANSPORT`` environment variable, then ``auto``.
-    ``auto`` picks shm when :func:`shm_available`, else pipe; an explicit
-    ``shm`` on a platform without shared memory is an error rather than a
-    silent downgrade.
+    ``auto`` picks shm when :func:`shm_available`, else pipe — never tcp;
+    an explicit ``shm`` on a platform without shared memory is an error
+    rather than a silent downgrade.  ``tcp`` resolves to itself here;
+    whether it actually engages (it needs worker addresses) is decided by
+    :func:`repro.distributed.resolve_distribution`, which degrades an
+    address-less tcp choice back to local execution.
     """
     choice = transport or os.environ.get(TRANSPORT_ENV_VAR) or "auto"
     choice = choice.strip().lower()
@@ -159,6 +165,10 @@ class TransportCounters:
     framing around them is noise at these sizes).  ``broadcasts_skipped``
     counts rebroadcasts avoided because the model fingerprint had not
     changed; ``attach_ns`` is cumulative worker-side segment attach time.
+    ``bytes_wire`` counts every byte a TCP pool put on or read off the
+    network (frames *and* headers — on the wire, framing is not noise),
+    and ``round_trips`` counts dispatch cycles (one per ``pool.run``),
+    the latency-bound quantity a remote deployment actually pays for.
     """
 
     bytes_pickled: int = 0
@@ -166,6 +176,8 @@ class TransportCounters:
     broadcasts_total: int = 0
     broadcasts_skipped: int = 0
     attach_ns: int = 0
+    bytes_wire: int = 0
+    round_trips: int = 0
 
     def snapshot(self) -> "TransportCounters":
         return replace(self)
@@ -180,6 +192,8 @@ class TransportCounters:
                 self.broadcasts_skipped - earlier.broadcasts_skipped
             ),
             attach_ns=self.attach_ns - earlier.attach_ns,
+            bytes_wire=self.bytes_wire - earlier.bytes_wire,
+            round_trips=self.round_trips - earlier.round_trips,
         )
 
     def to_dict(self) -> dict:
@@ -189,6 +203,8 @@ class TransportCounters:
             "broadcasts_total": self.broadcasts_total,
             "broadcasts_skipped": self.broadcasts_skipped,
             "attach_ns": self.attach_ns,
+            "bytes_wire": self.bytes_wire,
+            "round_trips": self.round_trips,
         }
 
 

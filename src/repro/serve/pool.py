@@ -32,10 +32,11 @@ class SessionPool:
     ----------
     model:
         The model revision every pooled session serves.
-    backend / cache_size / session_workers:
+    backend / cache_size / session_workers / worker_addresses:
         Passed through to :class:`QuerySession` (``session_workers`` maps
         to its ``max_workers`` — process-backed batch sharding inside one
-        session).
+        session; ``worker_addresses`` shards batches across remote
+        ``repro worker`` daemons over TCP instead).
     size:
         Retained-session cap.  Checkout never blocks: when the idle list
         is empty a fresh session is built, and checkin closes overflow
@@ -49,6 +50,7 @@ class SessionPool:
         cache_size: int | None = None,
         size: int = 4,
         session_workers: int = 1,
+        worker_addresses=(),
     ):
         if size < 1:
             raise DataError(f"pool size must be >= 1, got {size}")
@@ -56,6 +58,7 @@ class SessionPool:
         self._backend = backend
         self._cache_size = cache_size
         self._session_workers = int(session_workers)
+        self._worker_addresses = tuple(worker_addresses or ())
         self.size = int(size)
         self._idle: list[QuerySession] = []
         self._lock = threading.Lock()
@@ -80,6 +83,7 @@ class SessionPool:
         kwargs = {
             "backend": self._backend,
             "max_workers": self._session_workers,
+            "worker_addresses": self._worker_addresses,
         }
         if self._cache_size is not None:
             kwargs["cache_size"] = self._cache_size
@@ -142,6 +146,7 @@ class SessionPool:
                 "created": self._created,
                 "retired": self._retired,
                 "session_workers": self._session_workers,
+                "worker_addresses": list(self._worker_addresses),
             }
 
     def __repr__(self) -> str:

@@ -85,6 +85,12 @@ class ServeConfig:
     session_workers:
         ``max_workers`` for pooled sessions — worker *processes* behind
         each session's batch path.
+    worker_addresses:
+        ``HOST:PORT`` addresses of remote ``repro worker`` daemons; a
+        non-empty tuple makes every pooled session shard its batches
+        over TCP (``repro serve --workers-remote``), fanning served
+        traffic out across hosts.  Machine-local — never stored with a
+        knowledge base.
     executor_threads:
         Thread-pool size for blocking evaluation; None sizes it to
         ``pool_size`` + 2 (updates and stats never starve queries).
@@ -96,6 +102,7 @@ class ServeConfig:
     backend: str = "auto"
     cache_size: int | None = None
     session_workers: int = 1
+    worker_addresses: tuple[str, ...] = ()
     executor_threads: int | None = None
 
     def __post_init__(self) -> None:
@@ -114,6 +121,10 @@ class ServeConfig:
         if self.session_workers < 1:
             raise DataError(
                 f"session_workers must be >= 1, got {self.session_workers}"
+            )
+        if not isinstance(self.worker_addresses, tuple):
+            object.__setattr__(
+                self, "worker_addresses", tuple(self.worker_addresses)
             )
 
 
@@ -151,6 +162,7 @@ class HostedKB:
             cache_size=self.config.cache_size,
             size=self.config.pool_size,
             session_workers=self.config.session_workers,
+            worker_addresses=self.config.worker_addresses,
         )
 
     # -- bookkeeping --------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""Worker tasks for the distributed tests (module-level so workers can
+resolve them by dotted name; see ``repro.parallel.pool.resolve_task``).
+
+Named ``_tcp_tasks`` — not ``_tasks`` — so the module never shadows (or
+is shadowed by) ``tests/parallel/_tasks`` when both test directories end
+up on ``sys.path`` in the same pytest run.
+"""
+
+import time
+
+from repro.exceptions import DataError, StaleWorkerStateError
+
+
+def echo(state, value):
+    return value
+
+
+def put(state, key, value):
+    state[key] = value
+
+
+def get(state, key):
+    return state.get(key)
+
+
+def raise_data_error(state, message):
+    raise DataError(message)
+
+
+def raise_stale(state):
+    raise StaleWorkerStateError("pinned state is gone")
+
+
+def sleep_for(state, seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def flaky(state, succeed_on):
+    """Raises a transient OSError until attempt ``succeed_on``; the
+    attempt count lives in worker state, so a retrying caller sees the
+    later attempts succeed."""
+    attempts = state.get("attempts", 0) + 1
+    state["attempts"] = attempts
+    if attempts < succeed_on:
+        raise OSError("transient glitch")
+    return attempts

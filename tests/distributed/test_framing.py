@@ -1,0 +1,148 @@
+"""The TCP frame layer: exact reads, loud failures on malformed input.
+
+The contract under test: ``recv_frame`` either returns a complete
+payload, returns ``None`` on a clean EOF at a frame boundary, or raises
+:class:`ParallelError` — never a partial payload, never a hang on a
+garbage header, never an attempt to buffer an absurd length.
+"""
+
+import pickle
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.distributed.protocol import (
+    HEADER_BYTES,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    format_address,
+    parse_address,
+    recv_exact,
+    recv_frame,
+    recv_message,
+    send_frame,
+    send_message,
+)
+from repro.exceptions import ParallelError
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    return MAGIC + struct.pack(">Q", len(payload)) + payload
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.2:8950") == ("10.0.0.2", 8950)
+
+    def test_strips_whitespace(self):
+        assert parse_address("  localhost:9000 ") == ("localhost", 9000)
+
+    def test_splits_on_last_colon_for_ipv6(self):
+        assert parse_address("::1:9000") == ("::1", 9000)
+
+    def test_format_round_trips(self):
+        assert format_address(parse_address("host:81")) == "host:81"
+
+    @pytest.mark.parametrize(
+        "text", ["nocolon", ":9000", "host:", "host:ninety", "host:-1",
+                 "host:65536", "host:0"],
+    )
+    def test_rejects_malformed_connect_addresses(self, text):
+        with pytest.raises(ParallelError):
+            parse_address(text)
+
+    def test_listen_addresses_allow_ephemeral_port_zero(self):
+        assert parse_address("127.0.0.1:0", listen=True) == ("127.0.0.1", 0)
+        with pytest.raises(ParallelError):
+            parse_address("127.0.0.1:-1", listen=True)
+
+
+class TestFraming:
+    def test_message_round_trip(self, pair):
+        left, right = pair
+        message = ("call", "mod:task", [(1, "two"), {"three": 3.0}])
+        send_message(left, message)
+        assert recv_message(right) == message
+
+    def test_send_frame_returns_bytes_on_wire(self, pair):
+        left, right = pair
+        sent = send_frame(left, b"xyzzy")
+        assert sent == HEADER_BYTES + 5
+        assert recv_frame(right) == b"xyzzy"
+
+    def test_partial_reads_reassemble(self, pair):
+        """A frame dribbled in 1-byte writes still arrives whole:
+        ``recv_exact`` loops until the count is satisfied."""
+        left, right = pair
+        payload = pickle.dumps(list(range(50)))
+        raw = frame_bytes(payload)
+
+        def dribble():
+            for index in range(len(raw)):
+                left.sendall(raw[index : index + 1])
+                if index % 7 == 0:
+                    time.sleep(0.001)
+
+        writer = threading.Thread(target=dribble)
+        writer.start()
+        try:
+            assert pickle.loads(recv_frame(right)) == list(range(50))
+        finally:
+            writer.join()
+
+    def test_clean_eof_at_frame_boundary_is_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+        assert recv_message(right) is None
+
+    def test_eof_mid_frame_raises(self, pair):
+        left, right = pair
+        raw = frame_bytes(b"x" * 100)
+        left.sendall(raw[:HEADER_BYTES + 10])  # header + 10 of 100 bytes
+        left.close()
+        with pytest.raises(ParallelError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_eof_mid_header_raises(self, pair):
+        left, right = pair
+        left.sendall(MAGIC[:2])
+        left.close()
+        with pytest.raises(ParallelError):
+            recv_frame(right)
+
+    def test_bad_magic_raises(self, pair):
+        left, right = pair
+        left.sendall(b"HTTP" + struct.pack(">Q", 4) + b"oops")
+        with pytest.raises(ParallelError, match="magic"):
+            recv_frame(right)
+
+    def test_oversized_length_raises_before_buffering(self, pair):
+        left, right = pair
+        left.sendall(MAGIC + struct.pack(">Q", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ParallelError, match="frame"):
+            recv_frame(right)
+
+    def test_unpicklable_payload_raises_parallel_error(self, pair):
+        left, right = pair
+        send_frame(left, b"\x80\x04this is not a pickle")
+        with pytest.raises(ParallelError):
+            recv_message(right)
+
+    def test_recv_exact_none_only_before_first_byte(self, pair):
+        left, right = pair
+        left.sendall(b"abc")
+        assert recv_exact(right, 3) == b"abc"
+        left.close()
+        assert recv_exact(right, 3) is None

@@ -187,6 +187,8 @@ class TestTransportCounters:
             "broadcasts_total",
             "broadcasts_skipped",
             "attach_ns",
+            "bytes_wire",
+            "round_trips",
         }
 
 

@@ -33,6 +33,7 @@ def stubbed(run_all, monkeypatch):
         "suite": [],
         "discovery": [],
         "parallel": [],
+        "distributed": [],
         "serving": [],
         "scenarios": [],
     }
@@ -52,6 +53,12 @@ def stubbed(run_all, monkeypatch):
         "measure_parallel",
         lambda smoke: calls["parallel"].append(smoke)
         or {"workers": 4, "cpus": 4, "scan_speedup_cold": 2.5},
+    )
+    monkeypatch.setattr(
+        run_all,
+        "measure_distributed",
+        lambda smoke: calls["distributed"].append(smoke)
+        or {"workers": 4, "cpus": 4, "scan_speedup": 1.8},
     )
     monkeypatch.setattr(
         run_all,
@@ -127,6 +134,11 @@ class TestTrajectoryRecord:
             "workers": 4,
             "cpus": 4,
             "scan_speedup_cold": 2.5,
+        }
+        assert record["distributed"] == {
+            "workers": 4,
+            "cpus": 4,
+            "scan_speedup": 1.8,
         }
         assert record["serving"] == {
             "clients": 4,
