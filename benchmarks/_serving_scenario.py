@@ -23,6 +23,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.knowledge_base import ProbabilisticKnowledgeBase
 from repro.eval.paper import paper_table
+from repro.scenarios.replay import latency_stats as _latency_stats
 from repro.serve import ServeClient, ServeConfig, serve_in_thread
 
 #: Concurrent closed-loop clients (and open-loop dispatch workers).
@@ -57,25 +58,6 @@ def serve_config() -> ServeConfig:
 def expected_answers(kb: ProbabilisticKnowledgeBase) -> dict[str, float]:
     """In-process ground truth for the mix, for exact-equality checks."""
     return {text: kb.query(text) for text in QUERY_MIX}
-
-
-def percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sample."""
-    if not sorted_values:
-        return 0.0
-    rank = min(
-        len(sorted_values) - 1, max(0, int(q * len(sorted_values)))
-    )
-    return sorted_values[rank]
-
-
-def _latency_stats(latencies: list[float]) -> dict:
-    ordered = sorted(latencies)
-    return {
-        "p50_ms": 1e3 * percentile(ordered, 0.50),
-        "p99_ms": 1e3 * percentile(ordered, 0.99),
-        "max_ms": 1e3 * (ordered[-1] if ordered else 0.0),
-    }
 
 
 def closed_loop(

@@ -39,12 +39,16 @@ Checks, against the baseline trajectory records:
   whose machine has at least as many CPUs as that subsystem's workers
   — the shm transport's break-even contract for the first scan/batch
   after a rebuild, and TCP's steady-state break-even against serial.
-- **scenario conformance gates**: fail when any scenario that passed its
-  gates in the baseline fails them in the candidate (and when the
-  candidate has any gate failure at all — same contract as ``run_all``).
+- **scenario conformance gates and latency SLOs**: fail when any
+  scenario that passed in the baseline fails in the candidate (and when
+  the candidate has any gate or SLO failure at all — same contract as
+  ``run_all``).
 
 The full comparison is written to ``--output`` as JSON (CI uploads it as
-an artifact), and the exit code is non-zero on any regression.
+an artifact) and embeds the cross-run scenario scorecard
+(:mod:`repro.eval.scorecard`) built from the baseline records plus the
+candidate, so the artifact carries per-scenario trends alongside the
+verdict.  The exit code is non-zero on any regression.
 """
 
 from __future__ import annotations
@@ -278,6 +282,7 @@ def compare_scenarios(
                 "baseline_passed": passed_before,
                 "candidate_passed": passed,
                 "gate_failures": entry.get("gate_failures", []),
+                "slo_failures": entry.get("slo_failures", []),
                 "status": status,
             }
         )
@@ -375,11 +380,23 @@ def main(argv: list[str] | None = None) -> int:
         for row in floors
         if row["status"] == "regressed"
     ] + [
-        f"scenario {row['scenario']}: {'; '.join(row['gate_failures'])}"
+        f"scenario {row['scenario']}: "
+        + "; ".join(
+            row["gate_failures"]
+            + [f"SLO {miss}" for miss in row["slo_failures"]]
+        )
         for row in scenarios
         if row["status"] == "regressed"
     ]
 
+    from repro.eval.scorecard import (
+        build_scorecard,
+        scenario_entries_from_trajectory,
+    )
+
+    scorecard = build_scorecard(
+        scenario_entries_from_trajectory([*baseline, candidate])
+    )
     report = {
         "smoke": smoke,
         "tolerance": args.tolerance,
@@ -389,6 +406,7 @@ def main(argv: list[str] | None = None) -> int:
         "costs": costs,
         "absolute_floors": floors,
         "scenarios": scenarios,
+        "scorecard": scorecard,
         "regressions": regressions,
         "passed": not regressions,
     }

@@ -7,6 +7,10 @@ Usage::
     python benchmarks/run_all.py --json          # + append BENCH_discovery.json
     python benchmarks/run_all.py --json --smoke  # tiny sizes (CI)
     python benchmarks/run_all.py --json --skip-suite   # metrics only
+    python benchmarks/run_all.py --json --smoke --skip-suite \
+        --tier stress                            # nightly stress matrix
+    python benchmarks/run_all.py --json --smoke --registry runs.db \
+        --scorecard scorecard.md                 # + cross-run scorecard
 
 ``--json`` measures the discovery hot path directly — per-order scan time
 (scalar reference vs vectorized kernel, cold and warm), full kernel- and
@@ -17,13 +21,16 @@ serial paths, equivalence asserted, ratios recorded with the machine's
 CPU count), measures the serving layer (closed/open-loop RPS and latency
 through the :mod:`repro.serve` network stack, served answers asserted
 bit-identical to in-process queries), runs the scenario conformance
-matrix (``repro.scenarios``)
-and embeds its per-scenario precision/recall/KL/stage metrics, and
+matrix (``repro.scenarios``; ``--tier`` selects registry tiers, so the
+nightly job replays the stress fleet with ``--tier stress``) and embeds
+its per-scenario precision/recall/KL/stage/latency-SLO metrics, and
 appends one record to a trajectory file (default ``BENCH_discovery.json``
 at the repo root).  The file is a JSON list, one record per invocation,
 so successive runs chart scan performance, parallel speedups, and
 conformance quality over time — ``check_regression.py`` gates PRs
-against it.
+against it.  With ``--registry`` the record also lands in the run
+registry (SQLite), and ``--scorecard`` renders the cross-run scenario
+scorecard (:mod:`repro.eval.scorecard`) from everything recorded there.
 """
 
 from __future__ import annotations
@@ -182,20 +189,50 @@ def measure_serving(smoke: bool) -> dict:
     return _measure(smoke)
 
 
-def measure_scenarios(smoke: bool) -> list[dict]:
+def measure_scenarios(smoke: bool, tiers=None) -> list[dict]:
     """Per-scenario conformance metrics for the trajectory record.
 
     Baselines are skipped — the trajectory tracks the paper's own engine;
     the conformance runner's selector comparison lives in the CI
-    scenario-matrix job and ``repro scenarios run``.  Gate misses are
-    embedded in the records (``gate_failures`` / ``passed``), not raised:
-    the caller appends the record *first* and fails after, so a gate miss
-    still ships the metrics that explain it.
+    scenario-matrix job and ``repro scenarios run``.  Gate misses and
+    latency-SLO misses are embedded in the records (``gate_failures`` /
+    ``slo_failures`` / ``passed``), not raised: the caller appends the
+    record *first* and fails after, so a miss still ships the metrics
+    that explain it.  ``tiers`` selects registry tiers (default: the
+    smoke+full fleet; pass ``["stress"]`` for the nightly stress matrix).
     """
     from repro.scenarios import outcome_to_dict, run_matrix
 
-    outcomes = run_matrix(smoke=smoke, include_baselines=False)
+    outcomes = run_matrix(smoke=smoke, include_baselines=False, tiers=tiers)
     return [outcome_to_dict(outcome) for outcome in outcomes]
+
+
+def write_scorecard(registry_path: str, scorecard_path: Path) -> None:
+    """Render the cross-run scenario scorecard from the run registry.
+
+    Reads every scenario outcome the registry holds (including the ones
+    the current invocation just recorded), writes the markdown report to
+    ``scorecard_path`` and the JSON document next to it (``.json``).
+    """
+    from repro.eval.scorecard import (
+        build_scorecard,
+        render_scorecard_markdown,
+        scenario_entries_from_registry,
+    )
+    from repro.store import RunRegistry
+
+    with RunRegistry(registry_path) as registry:
+        entries = scenario_entries_from_registry(registry)
+    scorecard = build_scorecard(entries)
+    scorecard_path.write_text(render_scorecard_markdown(scorecard))
+    json_path = scorecard_path.with_suffix(".json")
+    json_path.write_text(json.dumps(scorecard, indent=2) + "\n")
+    print(
+        f"scorecard written to {scorecard_path} and {json_path} "
+        f"({scorecard['total_scenarios']} scenarios, "
+        f"{scorecard['total_outcomes']} outcomes)",
+        file=sys.stderr,
+    )
 
 
 def append_trajectory(path: Path, record: dict) -> None:
@@ -243,9 +280,28 @@ def main(argv: list[str] | None = None) -> int:
             "— the source check_regression.py --registry compares against"
         ),
     )
+    parser.add_argument(
+        "--tier",
+        action="append",
+        choices=["smoke", "full", "stress", "all"],
+        help=(
+            "scenario registry tiers to run (repeatable; default "
+            "smoke+full — 'stress' selects the nightly stress matrix)"
+        ),
+    )
+    parser.add_argument(
+        "--scorecard",
+        metavar="PATH",
+        help=(
+            "with --registry: write the cross-run scenario scorecard "
+            "(markdown at PATH, JSON next to it) after recording the run"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.registry and args.json is None:
         parser.error("--registry requires --json (it records the metrics)")
+    if args.scorecard and not args.registry:
+        parser.error("--scorecard requires --registry (it aggregates runs)")
 
     status = 0
     if not args.skip_suite:
@@ -262,7 +318,7 @@ def main(argv: list[str] | None = None) -> int:
         parallel = measure_parallel(args.smoke)
         distributed = measure_distributed(args.smoke)
         serving = measure_serving(args.smoke)
-        scenarios = measure_scenarios(args.smoke)
+        scenarios = measure_scenarios(args.smoke, tiers=args.tier)
         record = {
             "timestamp": time.strftime(
                 "%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)
@@ -296,17 +352,23 @@ def main(argv: list[str] | None = None) -> int:
                 f"run {run.run_id} recorded in {args.registry}",
                 file=sys.stderr,
             )
+            if args.scorecard:
+                write_scorecard(args.registry, Path(args.scorecard))
         failed = [
             f"{entry['scenario']}: {failure}"
             for entry in scenarios
             for failure in entry.get("gate_failures", [])
+        ] + [
+            f"{entry['scenario']}: SLO {failure}"
+            for entry in scenarios
+            for failure in entry.get("slo_failures", [])
         ]
         if failed:
             # The record (with the failing metrics embedded) is already
             # on disk — exactly the diagnostic a gate miss needs.
             print(
                 f"trajectory record appended to {path}; scenario "
-                f"conformance gates missed:",
+                f"conformance gates or latency SLOs missed:",
                 file=sys.stderr,
             )
             for failure in failed:

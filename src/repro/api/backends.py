@@ -190,9 +190,11 @@ class DenseBackend(InferenceBackend):
         return self._joint
 
     def joint(self) -> np.ndarray:
+        """The full joint tensor (read-only, cached until invalidated)."""
         return self._tensor()
 
     def marginal(self, names: Sequence[str]) -> np.ndarray:
+        """Marginal over ``names``, served from the LRU marginal cache."""
         schema = self.model.schema
         ordered = schema.canonical_subset(names)
         # _tensor() first: it also drops stale marginals on model change.
@@ -212,6 +214,7 @@ class DenseBackend(InferenceBackend):
         return marginal
 
     def invalidate(self) -> None:
+        """Drop the cached joint and marginals (next call rebuilds)."""
         self._joint = None
         self._fingerprint = None
         self._marginals.clear()
@@ -241,6 +244,7 @@ class EliminationBackend(InferenceBackend):
         return self._factors
 
     def marginal(self, names: Sequence[str]) -> np.ndarray:
+        """Marginal over ``names`` by factored variable elimination."""
         return elimination.marginal(
             self.model, names, factors=self._factor_list()
         )
@@ -271,5 +275,6 @@ class EliminationBackend(InferenceBackend):
         return most_probable_from_restricted(schema, table, given)
 
     def invalidate(self) -> None:
+        """Drop the cached factor list (next call rebuilds)."""
         self._factors = None
         self._fingerprint = None

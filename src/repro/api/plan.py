@@ -47,6 +47,7 @@ class QueryPlan:
     description: str
 
     def describe(self) -> str:
+        """The plan's human-readable one-line description."""
         return self.description
 
     def __repr__(self) -> str:

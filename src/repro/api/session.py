@@ -89,6 +89,7 @@ class QuerySession:
 
     @property
     def model(self) -> MaxEntModel:
+        """The model the session currently serves."""
         return self._model
 
     @property

@@ -17,8 +17,12 @@ Usage::
     repro query --batch queries.txt --workers 4 # concurrent batch serving
     repro query --mpe --given "SMOKING=smoker"  # most probable explanation
     repro scenarios list                        # registered workloads
+    repro scenarios list --tier stress          # just the stress tier
+    repro scenarios list --markdown             # docs/scenarios.md catalog
     repro scenarios run --smoke --json -        # conformance matrix (CI gate)
     repro scenarios run --smoke --workers 2     # parallel-equivalence pass
+    repro scenarios run --tier stress --smoke   # nightly stress matrix
+    repro scorecard --registry runs.db          # cross-run scenario scorecard
     repro serve                                 # serve the paper KB over HTTP
     repro serve --kb prod=kb.json --port 8741   # serve saved knowledge bases
     repro discover --store kb.db --name prod    # fit into the durable store
@@ -333,8 +337,26 @@ def main(argv: list[str] | None = None) -> int:
     scenarios_sub = scenarios_parser.add_subparsers(
         dest="action", required=True
     )
-    scenarios_sub.add_parser(
+    scenarios_list = scenarios_sub.add_parser(
         "list", help="show the registered scenario workloads"
+    )
+    scenarios_list.add_argument(
+        "--tier",
+        action="append",
+        choices=["smoke", "full", "stress", "all"],
+        metavar="TIER",
+        help=(
+            "only scenarios in this tier (repeatable; smoke/full/stress/"
+            "all; default: all tiers)"
+        ),
+    )
+    scenarios_list.add_argument(
+        "--markdown",
+        action="store_true",
+        help=(
+            "emit the full markdown scenario catalog (the generator "
+            "behind docs/scenarios.md)"
+        ),
     )
     scenarios_run = scenarios_sub.add_parser(
         "run",
@@ -348,6 +370,16 @@ def main(argv: list[str] | None = None) -> int:
         action="append",
         metavar="NAME",
         help="run only this scenario (repeatable; default: all)",
+    )
+    scenarios_run.add_argument(
+        "--tier",
+        action="append",
+        choices=["smoke", "full", "stress", "all"],
+        metavar="TIER",
+        help=(
+            "run only scenarios in this tier (repeatable; smoke/full/"
+            "stress/all; default: smoke+full — stress is opt-in)"
+        ),
     )
     scenarios_run.add_argument(
         "--smoke",
@@ -395,6 +427,45 @@ def main(argv: list[str] | None = None) -> int:
             "record every scenario outcome in this run registry "
             "(SQLite; created if missing) under a content-derived run_id"
         ),
+    )
+
+    scorecard_parser = subparsers.add_parser(
+        "scorecard",
+        help=(
+            "aggregate recorded scenario outcomes across runs into one "
+            "markdown/JSON scorecard"
+        ),
+    )
+    scorecard_parser.add_argument(
+        "--registry",
+        required=True,
+        metavar="PATH",
+        help="run registry (SQLite) holding recorded scenario outcomes",
+    )
+    scorecard_parser.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the markdown scorecard here (default: stdout)",
+    )
+    scorecard_parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the scorecard as JSON to PATH",
+    )
+    scorecard_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="aggregate only smoke-size outcomes",
+    )
+    scorecard_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="aggregate only full-size outcomes",
+    )
+    scorecard_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when any scenario is failing or regressed",
     )
 
     serve_parser = subparsers.add_parser(
@@ -598,6 +669,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_query(args)
     elif args.command == "scenarios":
         return _run_scenarios(args)
+    elif args.command == "scorecard":
+        return _run_scorecard(args)
     elif args.command == "serve":
         return _run_serve(args)
     elif args.command == "worker":
@@ -1027,6 +1100,53 @@ def _run_scenarios(args) -> int:
         return 1
 
 
+def _run_scorecard(args) -> int:
+    from repro.exceptions import ReproError
+
+    try:
+        return _run_scorecard_inner(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _run_scorecard_inner(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.eval.scorecard import (
+        build_scorecard,
+        render_scorecard_markdown,
+        scenario_entries_from_registry,
+    )
+    from repro.store import RunRegistry
+
+    smoke = None
+    if args.smoke and not args.full:
+        smoke = True
+    elif args.full and not args.smoke:
+        smoke = False
+    with RunRegistry(args.registry) as registry:
+        entries = scenario_entries_from_registry(registry, smoke=smoke)
+    scorecard = build_scorecard(entries)
+    markdown = render_scorecard_markdown(scorecard)
+    if args.output:
+        Path(args.output).write_text(markdown + "\n")
+        print(f"scorecard written to {args.output}", file=sys.stderr)
+    else:
+        print(markdown)
+    if args.json:
+        Path(args.json).write_text(json.dumps(scorecard, indent=2) + "\n")
+        print(f"scorecard JSON written to {args.json}", file=sys.stderr)
+    if args.check and (scorecard["failing"] or scorecard["regressed"]):
+        for name in scorecard["failing"]:
+            print(f"scorecard: {name} is failing", file=sys.stderr)
+        for name in scorecard["regressed"]:
+            print(f"scorecard: {name} regressed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_scenarios_inner(args) -> int:
     import json
     import os
@@ -1040,17 +1160,34 @@ def _run_scenarios_inner(args) -> int:
     )
 
     if args.action == "list":
-        headers = ["name", "order", "smoke N", "full N", "tags", "description"]
+        tiers = args.tier if args.tier else None
+        if args.markdown:
+            from repro.scenarios.catalog import scenario_catalog_markdown
+
+            print(scenario_catalog_markdown(tiers))
+            return 0
+        headers = [
+            "name",
+            "tier",
+            "order",
+            "attrs",
+            "smoke N",
+            "full N",
+            "tags",
+            "description",
+        ]
         rows = [
             [
                 scenario.name,
+                scenario.tier,
                 scenario.max_order,
+                scenario.attributes,
                 scenario.smoke_samples,
                 scenario.full_samples,
                 ",".join(scenario.tags),
                 scenario.description,
             ]
-            for scenario in all_scenarios()
+            for scenario in all_scenarios(tiers)
         ]
         print(format_table(headers, rows))
         return 0
@@ -1063,6 +1200,7 @@ def _run_scenarios_inner(args) -> int:
         smoke=smoke,
         include_baselines=not args.no_baselines,
         workers=args.workers,
+        tiers=args.tier if args.tier else None,
     )
     if args.registry:
         from repro.scenarios import record_outcomes
@@ -1097,6 +1235,11 @@ def _run_scenarios_inner(args) -> int:
             for failure in outcome.gate_failures:
                 print(
                     f"conformance gate miss: {outcome.scenario}: {failure}",
+                    file=sys.stderr,
+                )
+            for failure in outcome.slo_failures:
+                print(
+                    f"latency SLO miss: {outcome.scenario}: {failure}",
                     file=sys.stderr,
                 )
         return 1

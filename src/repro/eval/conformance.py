@@ -21,9 +21,10 @@ __all__ = [
 
 
 def render_conformance_matrix(outcomes: Sequence[ScenarioOutcome]) -> str:
-    """The per-scenario conformance table."""
+    """The per-scenario conformance table (quality gates + latency SLOs)."""
     headers = [
         "scenario",
+        "tier",
         "N",
         "attrs",
         "order",
@@ -35,6 +36,7 @@ def render_conformance_matrix(outcomes: Sequence[ScenarioOutcome]) -> str:
         "scan s",
         "fit s",
         "total s",
+        "q p99 ms",
         "gates",
     ]
     rows = []
@@ -42,6 +44,7 @@ def render_conformance_matrix(outcomes: Sequence[ScenarioOutcome]) -> str:
         rows.append(
             [
                 outcome.scenario,
+                outcome.tier,
                 outcome.n_samples,
                 outcome.num_attributes,
                 outcome.max_order,
@@ -53,6 +56,7 @@ def render_conformance_matrix(outcomes: Sequence[ScenarioOutcome]) -> str:
                 format(outcome.scan_seconds, ".3f"),
                 format(outcome.fit_seconds, ".3f"),
                 format(outcome.seconds, ".3f"),
+                format(outcome.query_replay.get("p99_ms", 0.0), ".1f"),
                 "pass" if outcome.passed else "FAIL",
             ]
         )
@@ -106,9 +110,11 @@ def conformance_report(outcomes: Sequence[ScenarioOutcome]) -> str:
         for outcome in failures:
             for failure in outcome.gate_failures:
                 lines.append(f"  {outcome.scenario}: {failure}")
+            for failure in outcome.slo_failures:
+                lines.append(f"  {outcome.scenario}: SLO {failure}")
     else:
         lines.append("")
-        lines.append("all conformance gates passed")
+        lines.append("all conformance gates and latency SLOs passed")
     if any(o.baselines for o in outcomes):
         lines.append("")
         lines.append("selector comparison (MML vs baselines):")

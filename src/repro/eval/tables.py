@@ -42,3 +42,25 @@ def format_table(
     for row in rendered:
         lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    floatfmt: str = ".3f",
+) -> str:
+    """Render a GitHub-flavored markdown pipe table."""
+    rendered = [[format_cell(v, floatfmt) for v in row] for row in rows]
+    columns = len(headers)
+    for number, row in enumerate(rendered):
+        if len(row) != columns:
+            raise ValueError(
+                f"row {number} has {len(row)} cells, header has {columns}"
+            )
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rendered:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

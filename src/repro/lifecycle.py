@@ -154,6 +154,7 @@ class LiveKnowledgeBase:
 
     @property
     def schema(self):
+        """The served knowledge base's attribute schema."""
         return self.kb.schema
 
     @property
@@ -269,9 +270,11 @@ class LiveKnowledgeBase:
         )
 
     def query(self, text: str) -> float:
+        """Answer a textual probability query against the current model."""
         return self.kb.query(text)
 
     def probability(self, target, given=None) -> float:
+        """``P(target | given)`` against the current model."""
         return self.kb.probability(target, given)
 
     def __repr__(self) -> str:

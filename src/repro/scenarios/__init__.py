@@ -1,10 +1,22 @@
-"""Scenario conformance matrix: diverse discovery workloads with gates."""
+"""Scenario conformance matrix: diverse discovery workloads with gates.
+
+The package bundles the scenario registry (named, seeded workloads with
+planted ground truth, quality gates, and latency SLOs — see
+:mod:`repro.scenarios.registry`), the conformance runner that scores
+discovery against them (:mod:`repro.scenarios.runner`), and the
+closed-loop query-traffic replay the latency SLOs gate on
+(:mod:`repro.scenarios.replay`).
+"""
 
 from repro.scenarios.registry import (
+    DEFAULT_TIERS,
+    TIERS,
     ConformanceGates,
+    LatencySLO,
     Scenario,
     ScenarioInstance,
     all_scenarios,
+    default_slo,
     get_scenario,
     register,
     scenario_names,
@@ -20,12 +32,16 @@ from repro.scenarios.runner import (
 )
 
 __all__ = [
+    "DEFAULT_TIERS",
+    "TIERS",
     "BaselineScore",
     "ConformanceGates",
+    "LatencySLO",
     "Scenario",
     "ScenarioInstance",
     "ScenarioOutcome",
     "all_scenarios",
+    "default_slo",
     "get_scenario",
     "outcome_to_dict",
     "record_outcomes",

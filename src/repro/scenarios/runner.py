@@ -13,10 +13,20 @@ The per-scenario :class:`~repro.scenarios.registry.ConformanceGates` are
 then checked; CI's scenario-matrix job runs this in smoke mode and fails
 the build on any gate miss, and ``benchmarks/run_all.py --json`` appends
 the same per-scenario metrics to the benchmark trajectory.
+
+Beyond quality, the runner enforces each scenario's
+:class:`~repro.scenarios.registry.LatencySLO`: per-call p50/p99 budgets
+for the scan/fit/verify stages (from the discovery profile's per-call
+samples) and p50/p99 budgets for a deterministic closed-loop query
+replay (:mod:`repro.scenarios.replay`) driven against the fitted model.
+SLO misses are reported separately from quality-gate misses but fail the
+scenario the same way.  Set ``REPRO_SLO_SCALE`` (a float multiplier) to
+relax or tighten every budget uniformly, e.g. on slow CI hardware.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass, field
@@ -28,20 +38,28 @@ from repro.discovery.engine import DiscoveryEngine
 from repro.discovery.trace import ConstraintRecovery, score_constraint_keys
 from repro.maxent.entropy import kl_divergence
 from repro.scenarios.registry import (
+    DEFAULT_TIERS,
     ConformanceGates,
+    LatencySLO,
     Scenario,
     all_scenarios,
     get_scenario,
 )
+from repro.scenarios.replay import replay_session, scenario_query_mix
 
 __all__ = [
     "BaselineScore",
     "ScenarioOutcome",
+    "check_gates",
+    "check_slo",
     "outcome_to_dict",
     "record_outcomes",
     "run_matrix",
     "run_scenario",
 ]
+
+#: Requests issued by the per-scenario query replay (single client).
+REPLAY_REQUESTS = 60
 
 
 @dataclass(frozen=True)
@@ -74,19 +92,26 @@ class ScenarioOutcome:
     fit_sweeps: int
     constraints_found: int
     workers: int = 1
+    tier: str = "smoke"
+    stage_latency_ms: dict = field(default_factory=dict)
+    query_replay: dict = field(default_factory=dict)
     baselines: list[BaselineScore] = field(default_factory=list)
     gate_failures: list[str] = field(default_factory=list)
+    slo_failures: list[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
-        return not self.gate_failures
+        """True when every quality gate and latency SLO held."""
+        return not self.gate_failures and not self.slo_failures
 
     @property
     def precision(self) -> float:
+        """Fraction of adopted constraints that lie on planted truth."""
         return self.recovery.precision
 
     @property
     def recall(self) -> float:
+        """Fraction of the planted truth the engine recovered."""
         return self.recovery.recall
 
 
@@ -118,18 +143,64 @@ def check_gates(
     return failures
 
 
+def check_slo(
+    slo: LatencySLO,
+    stage_latency_ms: dict,
+    query_replay: dict,
+) -> list[str]:
+    """Human-readable description of every latency budget that was missed.
+
+    ``stage_latency_ms`` holds ``{stage}_{p50|p99}_ms`` keys for the
+    scan/fit/verify stages; ``query_replay`` holds the replay driver's
+    ``p50_ms`` / ``p99_ms`` (missing or empty dicts skip those budgets,
+    so a discovery run with no verify calls cannot fail the verify SLO).
+    """
+    failures = []
+    for stage, q, budget in slo.budgets():
+        label = "p50" if q == 0.50 else "p99"
+        if stage == "query":
+            observed = query_replay.get(f"{label}_ms")
+        else:
+            observed = stage_latency_ms.get(f"{stage}_{label}_ms")
+        if observed is None:
+            continue
+        if observed > budget:
+            failures.append(
+                f"{stage} {label} {observed:.1f}ms > {budget:.1f}ms"
+            )
+    return failures
+
+
+def _slo_scale() -> float:
+    """The global SLO multiplier from ``REPRO_SLO_SCALE`` (default 1.0)."""
+    raw = os.environ.get("REPRO_SLO_SCALE", "").strip()
+    if not raw:
+        return 1.0
+    try:
+        scale = float(raw)
+    except ValueError:
+        return 1.0
+    return scale if scale > 0 else 1.0
+
+
 def run_scenario(
     scenario: Scenario | str,
     smoke: bool = True,
     include_baselines: bool = True,
     workers: int = 1,
+    include_replay: bool = True,
 ) -> ScenarioOutcome:
-    """Run discovery (+ baselines) on one scenario and score conformance.
+    """Run discovery (+ baselines + query replay) on one scenario.
 
     ``workers > 1`` runs the discovery scans sharded across a worker pool;
     adoption decisions (and therefore every conformance metric except the
     timings) are bit-identical to the serial run, which is exactly what
     CI's parallel-equivalence smoke step relies on.
+
+    ``include_replay`` drives the scenario's deterministic query mix
+    closed-loop against the fitted model and gates the latencies on the
+    scenario's SLO; pass False to skip the replay (its query budgets are
+    then not enforced, but the stage budgets still are).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -147,6 +218,23 @@ def run_scenario(
         table.probabilities().ravel(), result.model.joint().ravel()
     )
     profile = result.profile
+
+    stage_latency_ms = {}
+    if profile is not None:
+        for stage in ("scan", "fit", "verify"):
+            stage_latency_ms[f"{stage}_p50_ms"] = profile.stage_percentile_ms(
+                stage, 0.50
+            )
+            stage_latency_ms[f"{stage}_p99_ms"] = profile.stage_percentile_ms(
+                stage, 0.99
+            )
+
+    query_replay: dict = {}
+    if include_replay:
+        queries = scenario_query_mix(table.schema, scenario.seed)
+        query_replay = replay_session(
+            result.model, queries, requests=REPLAY_REQUESTS
+        )
 
     baselines: list[BaselineScore] = []
     if include_baselines:
@@ -192,11 +280,19 @@ def run_scenario(
         fit_sweeps=profile.fit_sweeps if profile else 0,
         constraints_found=len(result.found),
         workers=workers,
+        tier=scenario.tier,
+        stage_latency_ms=stage_latency_ms,
+        query_replay=query_replay,
         baselines=baselines,
     )
     outcome.gate_failures = check_gates(
         scenario.gates_for(smoke), recovery, kl
     )
+    slo = scenario.slo_for(smoke)
+    scale = _slo_scale()
+    if scale != 1.0:
+        slo = slo.scaled(scale)
+    outcome.slo_failures = check_slo(slo, stage_latency_ms, query_replay)
     return outcome
 
 
@@ -216,14 +312,29 @@ def run_matrix(
     smoke: bool = True,
     include_baselines: bool = True,
     workers: int = 1,
+    tiers: str | Sequence[str] | None = None,
+    include_replay: bool = True,
 ) -> list[ScenarioOutcome]:
-    """Run the conformance runner over (a selection of) the registry."""
+    """Run the conformance runner over (a selection of) the registry.
+
+    When ``names`` is None the selection is tier-driven: ``tiers``
+    defaults to :data:`~repro.scenarios.registry.DEFAULT_TIERS` (the
+    stress tier is opt-in via ``tiers="stress"`` or ``tiers="all"``).
+    Explicit ``names`` ignore the tier filter.
+    """
     if names is None:
-        scenarios = list(all_scenarios())
+        selected = tiers if tiers is not None else DEFAULT_TIERS
+        scenarios = list(all_scenarios(selected))
     else:
         scenarios = [get_scenario(name) for name in names]
     return [
-        run_scenario(scenario, smoke, include_baselines, workers=workers)
+        run_scenario(
+            scenario,
+            smoke,
+            include_baselines,
+            workers=workers,
+            include_replay=include_replay,
+        )
         for scenario in scenarios
     ]
 
@@ -285,6 +396,9 @@ def outcome_to_dict(outcome: ScenarioOutcome) -> dict:
         "stage_verify_s": outcome.verify_seconds,
         "fit_sweeps": outcome.fit_sweeps,
         "workers": outcome.workers,
+        "tier": outcome.tier,
+        "stage_latency_ms": dict(outcome.stage_latency_ms),
+        "query_replay": dict(outcome.query_replay),
         "baselines": [
             {
                 "selector": b.selector,
@@ -296,5 +410,6 @@ def outcome_to_dict(outcome: ScenarioOutcome) -> dict:
             for b in outcome.baselines
         ],
         "gate_failures": list(outcome.gate_failures),
+        "slo_failures": list(outcome.slo_failures),
         "passed": outcome.passed,
     }

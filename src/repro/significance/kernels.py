@@ -166,6 +166,12 @@ class DiscoveryProfile:
     re-verification tests; ``fit`` covers the solver.  Rendered by
     ``repro discover --profile``.
 
+    Alongside the stage totals, ``*_call_seconds`` keep the individual
+    call durations (one entry per scan/fit/verify call, in call order) so
+    per-stage latency percentiles are computable —
+    :meth:`stage_percentile_ms` is what the scenario fleet's latency SLOs
+    read.
+
     ``scan_paths`` records, per scanned order, which scan implementation
     the engine chose (``"serial"`` kernel, ``"sharded"`` executor, or the
     ``"reference"`` oracle) and the candidate-pool size that drove the
@@ -190,6 +196,9 @@ class DiscoveryProfile:
     fit_calls: int = 0
     fit_sweeps: int = 0
     scan_paths: list[dict] = field(default_factory=list)
+    scan_call_seconds: list[float] = field(default_factory=list)
+    verify_call_seconds: list[float] = field(default_factory=list)
+    fit_call_seconds: list[float] = field(default_factory=list)
     bytes_pickled: int = 0
     bytes_shared: int = 0
     broadcasts_total: int = 0
@@ -219,20 +228,56 @@ class DiscoveryProfile:
         self.scan_seconds += seconds
         self.scan_calls += 1
         self.scan_cells += cells
+        self.scan_call_seconds.append(seconds)
 
     def add_verify(self, seconds: float, cells: int) -> None:
         self.verify_seconds += seconds
         self.verify_calls += 1
         self.verify_cells += cells
+        self.verify_call_seconds.append(seconds)
 
     def add_fit(self, seconds: float, sweeps: int) -> None:
         self.fit_seconds += seconds
         self.fit_calls += 1
         self.fit_sweeps += sweeps
+        self.fit_call_seconds.append(seconds)
 
     @property
     def total_seconds(self) -> float:
         return self.scan_seconds + self.verify_seconds + self.fit_seconds
+
+    def stage_samples(self, stage: str) -> list[float]:
+        """Per-call wall-clock samples (seconds) for one stage.
+
+        ``stage`` is ``"scan"``, ``"fit"``, or ``"verify"``; the samples
+        are the individual call durations folded into the stage totals,
+        in call order — the population the latency-SLO percentiles are
+        computed over.
+        """
+        try:
+            return {
+                "scan": self.scan_call_seconds,
+                "fit": self.fit_call_seconds,
+                "verify": self.verify_call_seconds,
+            }[stage]
+        except KeyError:
+            raise ValueError(
+                f"unknown profile stage {stage!r}; "
+                f"expected scan, fit, or verify"
+            ) from None
+
+    def stage_percentile_ms(self, stage: str, q: float) -> float:
+        """Nearest-rank percentile of one stage's call latencies, in ms.
+
+        Returns 0.0 when the stage recorded no calls (an order-0 run or a
+        loaded result), so SLO checks treat an idle stage as trivially
+        within budget.
+        """
+        ordered = sorted(self.stage_samples(stage))
+        if not ordered:
+            return 0.0
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return 1e3 * ordered[rank]
 
     def rows(self) -> list[list[str]]:
         """Table rows (stage, calls, work, seconds, share) for rendering."""

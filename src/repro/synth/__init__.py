@@ -1,5 +1,16 @@
 """Synthetic populations with planted, scoreable structure."""
 
+from repro.synth.adversarial import (
+    apply_label_noise,
+    correlated_drifted_margins,
+    duplicate_rows,
+    heavy_tailed_population,
+    high_order_population,
+    near_singular_population,
+    orbit_truth,
+    wide_population,
+    zipf_cardinalities,
+)
 from repro.synth.generators import (
     PlantedCell,
     PlantedPopulation,
@@ -22,16 +33,25 @@ from repro.synth.surveys import (
 __all__ = [
     "PlantedCell",
     "PlantedPopulation",
+    "apply_label_noise",
     "build_planted_population",
     "chained_population",
+    "correlated_drifted_margins",
     "drifted_margins",
+    "duplicate_rows",
+    "heavy_tailed_population",
+    "high_order_population",
     "independent_population",
     "medical_survey_population",
     "near_deterministic_population",
+    "near_singular_population",
+    "orbit_truth",
     "random_planted_population",
     "recovery_score",
     "skewed_population",
     "smoking_cancer_population",
     "smoking_cancer_schema",
     "telemetry_population",
+    "wide_population",
+    "zipf_cardinalities",
 ]

@@ -1,0 +1,72 @@
+"""Tests for conformance-matrix rendering and the table helpers."""
+
+from repro.eval.tables import format_table, markdown_table
+from repro.scenarios import run_matrix, run_scenario
+from repro.eval.conformance import (
+    conformance_report,
+    render_baseline_comparison,
+    render_conformance_matrix,
+)
+
+
+class TestMarkdownTable:
+    def test_pipe_layout(self):
+        text = markdown_table(["a", "b"], [[1, 2.5], ["x", 0.125]])
+        assert text.splitlines() == [
+            "| a | b |",
+            "| --- | --- |",
+            "| 1 | 2.500 |",
+            "| x | 0.125 |",
+        ]
+
+    def test_float_format_override(self):
+        text = markdown_table(["v"], [[0.12345]], floatfmt=".1f")
+        assert "| 0.1 |" in text
+
+    def test_monospace_table_still_pads(self):
+        text = format_table(["name", "value"], [["a", 1]])
+        assert "name" in text and "value" in text
+
+
+class TestConformanceMatrix:
+    def test_matrix_includes_tier_and_query_latency(self):
+        outcome = run_scenario(
+            "single-pairwise", smoke=True, include_baselines=False
+        )
+        text = render_conformance_matrix([outcome])
+        header = text.splitlines()[0]
+        assert "tier" in header
+        assert "q p99 ms" in header
+        assert "smoke" in text
+
+    def test_matrix_without_replay_prints_zero_latency(self):
+        outcome = run_scenario(
+            "independence",
+            smoke=True,
+            include_baselines=False,
+            include_replay=False,
+        )
+        assert outcome.query_replay == {}
+        text = render_conformance_matrix([outcome])
+        assert "0.0" in text
+
+
+class TestConformanceReport:
+    def test_success_line_covers_gates_and_slos(self):
+        outcomes = run_matrix(
+            names=["independence"], smoke=True, include_baselines=False
+        )
+        text = conformance_report(outcomes)
+        assert "all conformance gates and latency SLOs passed" in text
+
+    def test_slo_failures_are_labelled(self):
+        outcome = run_scenario(
+            "independence", smoke=True, include_baselines=False
+        )
+        outcome.slo_failures = ["query p99 9.0ms > 2.0ms"]
+        text = conformance_report([outcome])
+        assert "gate failures:" in text
+        assert "independence: SLO query p99 9.0ms > 2.0ms" in text
+
+    def test_baseline_comparison_empty(self):
+        assert render_baseline_comparison([]) == "(no outcomes)"

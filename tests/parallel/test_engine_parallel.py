@@ -1,11 +1,12 @@
 """Acceptance: 4-worker discovery == serial discovery on every scenario.
 
 `repro discover --workers 4` must produce bit-identical adopted
-constraints and fitted models to `--workers 1` on every scenario in the
-registry (smoke sizes; the decisions are size-independent because the
-sharded kernels are float-for-float identical to the serial ones).  One
-engine — and therefore one worker pool — serves all scenarios, the way a
-long-lived service would.
+constraints and fitted models to `--workers 1` on every smoke-tier
+scenario in the registry, plus a wide full-tier world (smoke sizes; the
+decisions are size-independent because the sharded kernels are
+float-for-float identical to the serial ones).  One engine — and
+therefore one worker pool — serves all scenarios, the way a long-lived
+service would.
 """
 
 import numpy as np
@@ -18,9 +19,12 @@ from repro.scenarios import get_scenario, run_scenario, scenario_names
 
 @pytest.fixture(scope="module")
 def instances():
+    # The smoke tier covers every structure class the original fleet
+    # had; one wide full-tier scenario exercises sharding over many
+    # attributes without dragging the whole stress tier into this suite.
+    names = [*scenario_names("smoke"), "wide-order2"]
     return {
-        name: get_scenario(name).build(smoke=True)
-        for name in scenario_names()
+        name: get_scenario(name).build(smoke=True) for name in names
     }
 
 

@@ -1,0 +1,139 @@
+"""Tests for the adversarial/stress population generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.synth.adversarial import (
+    apply_label_noise,
+    correlated_drifted_margins,
+    duplicate_rows,
+    heavy_tailed_population,
+    high_order_population,
+    near_singular_population,
+    orbit_truth,
+    wide_population,
+    zipf_cardinalities,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestWidePopulation:
+    def test_width_and_plants(self):
+        population = wide_population(
+            rng(), num_attributes=12, num_planted=3
+        )
+        assert len(population.schema) == 12
+        assert len(population.planted) == 3
+        joint = population.joint
+        assert joint.shape == (2,) * 12
+        assert joint.sum() == pytest.approx(1.0)
+
+    def test_cell_budget_enforced(self):
+        with pytest.raises(DataError, match="cells"):
+            wide_population(rng(), num_attributes=40)
+
+    def test_high_order_plants_deep_cells(self):
+        population = high_order_population(
+            rng(), num_attributes=6, order=4
+        )
+        assert all(
+            len(cell.attributes) == 4 for cell in population.planted
+        )
+
+
+class TestZipf:
+    def test_cardinalities_stay_in_range(self):
+        cards = zipf_cardinalities(rng(), 6, max_cardinality=12)
+        assert len(cards) == 6
+        assert all(2 <= c <= 12 for c in cards)
+
+    def test_heavy_tailed_forces_a_head_attribute(self):
+        population = heavy_tailed_population(
+            rng(), num_attributes=5, max_cardinality=10
+        )
+        cards = [a.cardinality for a in population.schema]
+        assert max(cards) == 10
+
+    def test_heavy_tailed_population_valid(self):
+        population = heavy_tailed_population(rng(), num_attributes=5)
+        assert population.joint.sum() == pytest.approx(1.0)
+        assert (population.joint >= 0).all()
+
+
+class TestDriftAndSingularity:
+    def test_correlated_drift_returns_distributions(self):
+        margins = {"A": np.full(3, 1 / 3), "B": np.full(4, 0.25)}
+        drifted = correlated_drifted_margins(
+            rng(), margins, drift=0.3, correlation=0.9
+        )
+        assert set(drifted) == {"A", "B"}
+        for margin in drifted.values():
+            assert margin.sum() == pytest.approx(1.0)
+            assert (margin > 0).all()
+
+    def test_near_singular_attributes_have_headroom(self):
+        population = near_singular_population(rng(), epsilon=0.004)
+        # Every attribute has at least 3 values so the epsilon-pinned
+        # tail value never collides with the planted head cells.
+        for attribute in population.schema:
+            assert attribute.cardinality >= 3
+        # The starved values exist: some margins are tiny but nonzero.
+        for name in population.schema.names:
+            margin = population.joint.sum(
+                axis=tuple(
+                    axis
+                    for axis, other in enumerate(population.schema.names)
+                    if other != name
+                )
+            )
+            assert margin.min() < 0.02
+            assert margin.min() > 0.0
+
+
+class TestCorruptions:
+    def _dataset(self):
+        from repro.synth.generators import chained_population
+
+        population = chained_population(rng(), 3)
+        return population.sample(2000, rng(1))
+
+    def test_label_noise_preserves_size(self):
+        dataset = self._dataset()
+        noisy = apply_label_noise(dataset, rng(2), rate=0.1)
+        assert len(noisy) == len(dataset)
+        assert noisy.schema == dataset.schema
+
+    def test_duplicate_rows_inflates(self):
+        dataset = self._dataset()
+        inflated = duplicate_rows(dataset, rng(3), fraction=0.3)
+        assert len(inflated) == int(len(dataset) * 1.3)
+
+
+class TestOrbitTruth:
+    def test_orbit_covers_all_value_combinations(self):
+        population = wide_population(
+            rng(5), num_attributes=6, num_planted=2
+        )
+        truth = orbit_truth(population)
+        planted_subsets = {
+            cell.attributes for cell in population.planted
+        }
+        # Binary attributes: each planted pair's orbit is all 4 cells.
+        assert len(truth) == 4 * len(planted_subsets)
+        for attributes, values in truth:
+            assert attributes in planted_subsets
+            assert len(values) == len(attributes)
+
+    def test_include_subsets_adds_lower_orders(self):
+        population = high_order_population(
+            rng(6), num_attributes=6, num_planted=1, order=4
+        )
+        plain = orbit_truth(population)
+        expanded = orbit_truth(population, include_subsets=True)
+        assert len(expanded) > len(plain)
+        orders = {len(attributes) for attributes, _ in expanded}
+        assert orders == {2, 3, 4}

@@ -278,7 +278,7 @@ class TestScenariosCommand:
         output = capsys.readouterr().out
         assert "SCENARIO CONFORMANCE MATRIX" in output
         assert "independence" in output
-        assert "all conformance gates passed" in output
+        assert "all conformance gates and latency SLOs passed" in output
 
     def test_run_json_to_stdout(self, capsys):
         import json
@@ -383,6 +383,119 @@ class TestScenariosCommand:
     def test_requires_action(self):
         with pytest.raises(SystemExit):
             main(["scenarios"])
+
+    def test_list_tier_filter(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenarios", "list", "--tier", "stress"]) == 0
+        output = capsys.readouterr().out
+        for name in scenario_names("stress"):
+            assert name in output
+        assert "single-pairwise" not in output
+
+    def test_list_markdown_matches_catalog(self, capsys):
+        from repro.scenarios.catalog import scenario_catalog_markdown
+
+        assert main(["scenarios", "list", "--markdown"]) == 0
+        assert capsys.readouterr().out == scenario_catalog_markdown() + "\n"
+
+
+class TestScorecardCommand:
+    def _record_run(self, registry_path, scenario="independence"):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "run",
+                    "--smoke",
+                    "--scenario",
+                    scenario,
+                    "--no-baselines",
+                    "--registry",
+                    registry_path,
+                ]
+            )
+            == 0
+        )
+
+    def test_empty_registry_renders_placeholder(self, capsys, tmp_path):
+        registry = str(tmp_path / "runs.db")
+        from repro.store import RunRegistry
+
+        RunRegistry(registry).close()
+        assert main(["scorecard", "--registry", registry]) == 0
+        assert "No scenario outcomes recorded." in capsys.readouterr().out
+
+    def test_scorecard_aggregates_recorded_runs(self, capsys, tmp_path):
+        import json
+
+        registry = str(tmp_path / "runs.db")
+        self._record_run(registry)
+        self._record_run(registry, scenario="single-pairwise")
+        capsys.readouterr()
+        json_path = tmp_path / "scorecard.json"
+        assert (
+            main(
+                [
+                    "scorecard",
+                    "--registry",
+                    registry,
+                    "--json",
+                    str(json_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "# Scenario scorecard" in output
+        assert "independence" in output
+        assert "single-pairwise" in output
+        card = json.loads(json_path.read_text())
+        assert card["total_scenarios"] == 2
+        assert card["failing"] == []
+
+    def test_check_flag_fails_on_failing_scenario(self, capsys, tmp_path):
+        registry = str(tmp_path / "runs.db")
+        self._record_run(registry)
+        from repro.store import RunRegistry
+
+        with RunRegistry(registry) as store:
+            store.record(
+                kind="scenario",
+                metrics={
+                    "scenario": "independence",
+                    "passed": False,
+                    "gate_failures": ["precision 0.000 < 1.000"],
+                },
+                smoke=True,
+                cpus=1,
+                config_hash="cafecafe",
+                git_sha="abc1234",
+                created_at="2099-01-01T00:00:00Z",
+            )
+        capsys.readouterr()
+        assert main(["scorecard", "--registry", registry]) == 0
+        assert main(["scorecard", "--registry", registry, "--check"]) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_markdown_output_file(self, capsys, tmp_path):
+        registry = str(tmp_path / "runs.db")
+        self._record_run(registry)
+        capsys.readouterr()
+        target = tmp_path / "scorecard.md"
+        assert (
+            main(
+                [
+                    "scorecard",
+                    "--registry",
+                    registry,
+                    "--output",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert "# Scenario scorecard" in target.read_text()
 
 
 class TestStoreCommands:

@@ -69,7 +69,7 @@ def stubbed(run_all, monkeypatch):
     monkeypatch.setattr(
         run_all,
         "measure_scenarios",
-        lambda smoke: calls["scenarios"].append(smoke)
+        lambda smoke, tiers=None: calls["scenarios"].append((smoke, tiers))
         or [{"scenario": "independence", "passed": True}],
     )
     return calls
@@ -81,7 +81,7 @@ class TestSkipSuite:
         assert run_all.main(["--json", str(target), "--skip-suite"]) == 0
         assert stubbed["suite"] == []
         assert stubbed["discovery"] == [False]
-        assert stubbed["scenarios"] == [False]
+        assert stubbed["scenarios"] == [(False, None)]
         assert target.exists()
 
     def test_without_skip_suite_runs_pytest(self, run_all, stubbed, tmp_path):
@@ -115,7 +115,7 @@ class TestSmokeFlag:
             == 0
         )
         assert stubbed["discovery"] == [True]
-        assert stubbed["scenarios"] == [True]
+        assert stubbed["scenarios"] == [(True, None)]
         record = json.loads(target.read_text())[-1]
         assert record["smoke"] is True
 
@@ -245,7 +245,7 @@ class TestGateMiss:
         monkeypatch.setattr(
             run_all,
             "measure_scenarios",
-            lambda smoke: [
+            lambda smoke, tiers=None: [
                 {
                     "scenario": "independence",
                     "passed": False,
@@ -259,5 +259,5 @@ class TestGateMiss:
         assert len(history) == 1
         assert history[0]["scenarios"][0]["passed"] is False
         err = capsys.readouterr().err
-        assert "conformance gates missed" in err
+        assert "conformance gates or latency SLOs missed" in err
         assert "independence: precision" in err
